@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's figures: each test runs one experiment
+sweep exactly once (``benchmark.pedantic`` with a single round — the sweeps
+are minutes-long model fits, not microbenchmarks), prints the same series
+the paper plots, and asserts the claimed *shape* (method ordering, growth,
+crossovers).  Set ``REPRO_BENCH_SCALE=full`` for the paper's dataset sizes.
+"""
+
+import numpy.ma  # noqa: F401  (pre-import: keeps lazy-loading out of timings)
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

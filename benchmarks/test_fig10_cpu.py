@@ -1,0 +1,50 @@
+"""Figure 10 — per-query CPU cost of the indexing schemes.
+
+Shape assertions (paper §6.2): the extended-iDistance schemes compare
+1-dimensional keys while gLDR computes d-dimensional L-norms inside its
+Hybrid trees, so gLDR's CPU cost sits far above iMMDR/iLDR and the gap
+grows with dimensionality.  Wall-clock seconds are printed for reference;
+the assertions run on the deterministic dimension-weighted work proxy so CI
+noise cannot flake them.
+"""
+
+from repro.eval.reporting import format_series
+from repro.experiments.fig10 import (
+    cpu_series_colorhist,
+    cpu_series_synthetic,
+)
+from repro.experiments.fig9 import FIG9_DIMS
+
+
+def _check_cpu_shape(views):
+    work = views["work"]
+    imm, ild, gld = work["iMMDR"], work["iLDR"], work["gLDR"]
+    # gLDR pays more CPU work than either iDistance scheme, everywhere.
+    assert all(g > m for g, m in zip(gld, imm))
+    assert all(g > l for g, l in zip(gld, ild))
+    # The iDistance schemes stay well below the sequential scan.
+    seq = work["SeqScan"]
+    assert all(m < s for m, s in zip(imm, seq))
+
+
+def test_fig10a_synthetic(run_once):
+    views = run_once(cpu_series_synthetic)
+    print("\nFigure 10a — CPU vs dims (synthetic)")
+    print("  wall-clock seconds/query:")
+    print(format_series("dims", list(FIG9_DIMS), views["seconds"]))
+    print("  deterministic work proxy (dim-weighted ops/query):")
+    print(format_series("dims", list(FIG9_DIMS), views["work"]))
+    _check_cpu_shape(views)
+
+
+def test_fig10b_colorhist(run_once):
+    views = run_once(cpu_series_colorhist)
+    print("\nFigure 10b — CPU vs dims (color histograms)")
+    print("  wall-clock seconds/query:")
+    print(format_series("dims", list(FIG9_DIMS), views["seconds"]))
+    print("  deterministic work proxy (dim-weighted ops/query):")
+    print(format_series("dims", list(FIG9_DIMS), views["work"]))
+    work = views["work"]
+    assert all(
+        g > l for g, l in zip(work["gLDR"], work["iLDR"])
+    )

@@ -1,0 +1,70 @@
+"""Figure 11 — Scalable MMDR total response time.
+
+Shape assertions (paper §6.3):
+
+* 11a: TRT grows ~linearly in the data size, with no buffer-limit jump —
+  checked structurally: the sequential page reads per point are constant
+  across sizes (each point is scanned a bounded number of times no matter
+  how large the dataset), and TRT growth does not outpace N by more than a
+  modest factor.
+* 11b: TRT grows superlinearly (toward quadratic) in the dimensionality.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.experiments.fig11 import run_fig11a, run_fig11b
+
+
+def test_fig11a_trt_vs_data_size(run_once):
+    points = run_once(run_fig11a)
+    print("\nFigure 11a — Scalable MMDR TRT vs data size (d=100)")
+    print(
+        format_table(
+            ["n_points", "trt_s", "seq_page_reads", "reads_per_kpoint",
+             "subspaces", "streams"],
+            [
+                (p.n_points, p.trt_seconds, p.sequential_page_reads,
+                 p.sequential_page_reads * 1000 / p.n_points,
+                 p.n_subspaces, p.streams)
+                for p in points
+            ],
+        )
+    )
+    sizes = np.array([p.n_points for p in points], dtype=float)
+    trt = np.array([p.trt_seconds for p in points])
+    reads = np.array([p.sequential_page_reads for p in points], dtype=float)
+
+    # TRT increases with data size.
+    assert trt[-1] > trt[0]
+    # Near-linear: time per point at the largest size is within 4x of the
+    # smallest size's (no blow-up at any buffer boundary).
+    per_point = trt / sizes
+    assert per_point[-1] < per_point[0] * 4.0
+    # The machine-independent witness: pages scanned per point is flat
+    # (each point is read a constant number of times regardless of N).
+    reads_per_point = reads / sizes
+    assert reads_per_point.max() < reads_per_point.min() * 2.0
+
+
+def test_fig11b_trt_vs_dimensionality(run_once):
+    points = run_once(run_fig11b)
+    print("\nFigure 11b — Scalable MMDR TRT vs dimensionality")
+    print(
+        format_table(
+            ["dims", "trt_s", "seq_page_reads", "subspaces", "streams"],
+            [
+                (p.dimensionality, p.trt_seconds,
+                 p.sequential_page_reads, p.n_subspaces, p.streams)
+                for p in points
+            ],
+        )
+    )
+    dims = np.array([p.dimensionality for p in points], dtype=float)
+    trt = np.array([p.trt_seconds for p in points])
+    # TRT increases clearly with dimensionality.  The paper reports a
+    # near-quadratic trend at 1M x 200 dims; at CI scale fixed per-pass
+    # overheads damp the exponent, so the assertion is a clear monotone
+    # growth (the full-scale run in EXPERIMENTS.md shows the curvature).
+    assert trt[-1] > trt[0] * 1.5
+    assert all(b > a * 0.8 for a, b in zip(trt, trt[1:]))

@@ -1,0 +1,61 @@
+"""Figure 7 — precision vs. ellipticity (7a) and vs. cluster count (7b).
+
+Shape assertions (paper §6.1):
+
+* MMDR dominates LDR and GDR over the sweeps (small per-point noise
+  tolerated; the aggregate advantage must be clear).
+* 7a: precision degrades for every method as ellipticity falls.
+* 7b: with one cluster all methods are comparable; with many clusters the
+  MMDR-vs-baseline gap opens up.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_series
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+
+
+def _mean(series):
+    return float(np.mean(series))
+
+
+def test_fig7a_precision_vs_ellipticity(run_once):
+    sweep = run_once(run_fig7a)
+    print("\nFigure 7a — precision vs ellipticity")
+    print(format_series(sweep.x_label, sweep.x_values, sweep.series))
+
+    mmdr = sweep.series["MMDR"]
+    ldr = sweep.series["LDR"]
+    gdr = sweep.series["GDR"]
+    # MMDR leads on aggregate and at the high-ellipticity end.
+    assert _mean(mmdr) > _mean(ldr)
+    assert _mean(mmdr) > _mean(gdr)
+    assert mmdr[-1] > ldr[-1]
+    # GDR is capped (the paper reports at most ~15% precision: the dataset
+    # is not globally correlated).
+    assert max(gdr) < 0.25
+    # Less correlation (lower e) costs every method precision: the lowest-e
+    # point is clearly below the highest-e point.
+    assert mmdr[0] < mmdr[-1]
+    assert ldr[0] < ldr[-1]
+
+
+def test_fig7b_precision_vs_cluster_count(run_once):
+    sweep = run_once(run_fig7b)
+    print("\nFigure 7b — precision vs number of correlated clusters")
+    print(format_series(sweep.x_label, sweep.x_values, sweep.series))
+
+    mmdr = sweep.series["MMDR"]
+    ldr = sweep.series["LDR"]
+    gdr = sweep.series["GDR"]
+    # Single (globally correlated) cluster: MMDR and GDR are equally good.
+    # Deviation vs the paper: our LDR keeps splitting unimodal data into
+    # max_clusters thin cells (its coverage criterion is satisfied by the
+    # slivers), so it starts low — see EXPERIMENTS.md.
+    assert abs(mmdr[0] - gdr[0]) < 0.15
+    # Many clusters: MMDR keeps a clear lead over both baselines.
+    assert mmdr[-1] > ldr[-1] + 0.05
+    assert mmdr[-1] > gdr[-1] + 0.05
+    # MMDR maintains precision as clusters multiply; GDR collapses.
+    assert mmdr[-1] >= mmdr[0] - 0.15
+    assert gdr[-1] < gdr[0] - 0.3

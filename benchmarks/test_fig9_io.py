@@ -1,0 +1,51 @@
+"""Figure 9 — per-query I/O cost (page reads) of the indexing schemes.
+
+Shape assertions (paper §6.2):
+
+* the extended-iDistance schemes (iMMDR, iLDR) cost less I/O than gLDR at
+  every dimensionality, and iMMDR (the better reduction) is the cheapest
+  scheme at the top of the sweep;
+* gLDR approaches the sequential scan as dimensionality grows (the paper
+  has it crossing at ~20 dims; we assert it reaches >= 55% of the scan);
+* sequential-scan I/O grows with dimensionality (fatter vectors).
+"""
+
+from repro.eval.reporting import format_series
+from repro.experiments.fig9 import (
+    run_cost_sweep_colorhist,
+    run_cost_sweep_synthetic,
+)
+
+
+def _check_io_shape(sweep):
+    io = sweep.series("mean_page_reads")
+    imm, ild, gld, seq = (
+        io["iMMDR"], io["iLDR"], io["gLDR"], io["SeqScan"]
+    )
+    # iDistance schemes beat the Hybrid-tree baseline everywhere.
+    assert all(m < g for m, g in zip(imm, gld))
+    assert all(l < g for l, g in zip(ild, gld))
+    # The more effective reduction gives the cheaper index at high dims.
+    assert imm[-1] <= ild[-1] * 1.10
+    # gLDR degenerates toward the sequential scan as dims grow.
+    assert gld[-1] >= 0.55 * seq[-1]
+    # Sequential scan grows with dimensionality.
+    assert seq[-1] > seq[0]
+    return io
+
+
+def test_fig9a_synthetic(run_once):
+    sweep = run_once(run_cost_sweep_synthetic)
+    io = _check_io_shape(sweep)
+    print("\nFigure 9a — I/O cost vs dims (synthetic, pages/query)")
+    print(format_series(sweep.x_label, sweep.x_values, io))
+
+
+def test_fig9b_colorhist(run_once):
+    sweep = run_once(run_cost_sweep_colorhist)
+    io = sweep.series("mean_page_reads")
+    print("\nFigure 9b — I/O cost vs dims (color histograms, pages/query)")
+    print(format_series(sweep.x_label, sweep.x_values, io))
+    # Same qualitative ordering on the real-data substitute.
+    assert all(m < g for m, g in zip(io["iMMDR"], io["gLDR"]))
+    assert io["SeqScan"][-1] > io["SeqScan"][0]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scalable MMDR on a dataset 'larger than the buffer' (§4.3).
+
+Demonstrates the data-stream variant: the dataset is processed in ε·N-sized
+chunks, only small ellipsoids' centroids are kept between chunks, and the
+bulk data is scanned sequentially a constant number of times.  The script
+compares the streamed model against the in-memory fit and reports the
+sequential I/O both incur.
+
+Run:
+    python examples/streaming_large_dataset.py [--points 50000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import MMDR, MMDRConfig, ScalableMMDR
+from repro.data import SyntheticSpec, generate_correlated_clusters
+from repro.eval import format_table
+from repro.storage import CostCounters
+from repro.storage.pager import pages_for_vectors
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=50_000)
+    parser.add_argument("--dims", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    spec = SyntheticSpec(
+        n_points=args.points,
+        dimensionality=args.dims,
+        n_clusters=6,
+        retained_dims=8,
+        variance_r=0.25,
+        variance_e=0.015,
+        noise_fraction=0.005,
+    )
+    data = generate_correlated_clusters(spec, rng).points
+    dataset_pages = pages_for_vectors(args.points, args.dims)
+    print(
+        f"dataset: {args.points} x {args.dims} "
+        f"(~{dataset_pages} pages, {dataset_pages * 4 // 1024} MiB)"
+    )
+
+    rows = []
+    for label, fitter in [
+        ("in-memory MMDR", MMDR(MMDRConfig())),
+        ("Scalable MMDR", ScalableMMDR(MMDRConfig())),
+    ]:
+        counters = CostCounters()
+        model = fitter.fit(data, np.random.default_rng(args.seed), counters)
+        rows.append(
+            (
+                label,
+                f"{model.stats.fit_seconds:.2f}s",
+                model.n_subspaces,
+                model.outliers.size,
+                counters.sequential_reads,
+                model.stats.streams_processed or 1,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["variant", "TRT", "subspaces", "outliers",
+             "seq page reads", "streams"],
+            rows,
+        )
+    )
+    streamed_reads = rows[1][4]
+    print(
+        f"\nScalable MMDR read {streamed_reads} pages sequentially ="
+        f" {streamed_reads / dataset_pages:.1f} passes over the data —"
+        " constant regardless of how many clustering iterations ran,"
+        " which is why Figure 11a shows no jump at the buffer limit."
+    )
+
+
+if __name__ == "__main__":
+    main()

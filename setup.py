@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs fail; this file lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on newer toolchains) work everywhere.
+"""
+from setuptools import setup
+
+setup()

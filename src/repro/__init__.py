@@ -1,0 +1,87 @@
+"""MMDR: adaptive Multi-level Mahalanobis-based Dimensionality Reduction
+for high-dimensional indexing.
+
+A from-scratch reproduction of Jin, Ooi, Shen, Yu & Zhou (ICDE 2003):
+
+* :class:`MMDR` / :class:`ScalableMMDR` — the paper's dimensionality
+  reduction (Generate Ellipsoid + Dimensionality Optimization, and the
+  data-stream variant for datasets larger than the buffer).
+* :class:`GDRReducer` / :class:`LDRReducer` — the global/local PCA baselines
+  the paper compares against (Chakrabarti & Mehrotra).
+* :class:`ExtendedIDistance` — one B+-tree over every reduced subspace, with
+  the paper's expanding-sphere KNN search; :class:`GlobalLDRIndex` (Hybrid
+  tree per cluster) and :class:`SequentialScan` as baselines.
+* :mod:`repro.data` — the Appendix-A synthetic generator and a simulated
+  Corel color-histogram dataset.
+* :mod:`repro.eval` — the §6 precision metric and cost harness.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import MMDR, ExtendedIDistance
+>>> from repro.reduction import model_to_reduced
+>>> from repro.data import SyntheticSpec, generate_correlated_clusters
+>>> rng = np.random.default_rng(0)
+>>> spec = SyntheticSpec(n_points=3000, dimensionality=32, n_clusters=3,
+...                      retained_dims=4)
+>>> dataset = generate_correlated_clusters(spec, rng)
+>>> model = MMDR().fit(dataset.points, rng)
+>>> index = ExtendedIDistance(model_to_reduced(model))
+>>> result = index.knn(dataset.points[0], k=10)
+>>> len(result.ids)
+10
+"""
+
+from .cluster import EllipticalKMeans, kmeans
+from .core import (
+    DEFAULT_CONFIG,
+    MMDR,
+    EllipticalSubspace,
+    MMDRConfig,
+    MMDRModel,
+    OutlierSet,
+    ScalableMMDR,
+)
+from .index import (
+    ExtendedIDistance,
+    GlobalLDRIndex,
+    KNNResult,
+    SequentialScan,
+)
+from .linalg import ClusterShape, PCAModel, fit_pca
+from .reduction import (
+    GDRReducer,
+    LDRReducer,
+    MMDRReducer,
+    ReducedDataset,
+    Reducer,
+    model_to_reduced,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ClusterShape",
+    "EllipticalKMeans",
+    "EllipticalSubspace",
+    "ExtendedIDistance",
+    "GDRReducer",
+    "GlobalLDRIndex",
+    "KNNResult",
+    "LDRReducer",
+    "MMDR",
+    "MMDRConfig",
+    "MMDRModel",
+    "MMDRReducer",
+    "OutlierSet",
+    "PCAModel",
+    "ReducedDataset",
+    "Reducer",
+    "ScalableMMDR",
+    "SequentialScan",
+    "fit_pca",
+    "kmeans",
+    "model_to_reduced",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Paged B+-tree — the single structure under the extended iDistance.
+
+Built from scratch on the simulated storage layer: one node per 4 KiB page,
+reads through the LRU buffer pool, bulk load + dynamic insert + range scans
++ the bidirectional cursors iDistance's expanding-radius search needs.
+"""
+
+from .node import INTERNAL_CAPACITY, LEAF_CAPACITY, InternalNode, LeafNode
+from .tree import BPlusTree, BTreeCursor
+
+__all__ = [
+    "BPlusTree",
+    "BTreeCursor",
+    "INTERNAL_CAPACITY",
+    "InternalNode",
+    "LEAF_CAPACITY",
+    "LeafNode",
+]

@@ -1,0 +1,86 @@
+"""B+-tree node payloads.
+
+Nodes live as payloads on :class:`~repro.storage.pager.PageStore` pages.
+Capacities derive from the simulated page size: a leaf entry is an 8-byte
+key plus an 8-byte record id, an internal entry an 8-byte separator plus an
+8-byte child pointer, so both node kinds hold 256 entries per 4 KiB page —
+the fanout that makes the extended iDistance tree shallow and cheap, in
+contrast to the Hybrid tree whose nodes store d-dimensional geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..storage.pager import KEY_SIZE, PAGE_SIZE, POINTER_SIZE, RID_SIZE
+
+__all__ = [
+    "LEAF_CAPACITY",
+    "INTERNAL_CAPACITY",
+    "LeafNode",
+    "InternalNode",
+]
+
+#: Max (key, rid) entries in a leaf page.
+LEAF_CAPACITY = PAGE_SIZE // (KEY_SIZE + RID_SIZE)
+#: Max child pointers in an internal page.
+INTERNAL_CAPACITY = PAGE_SIZE // (KEY_SIZE + POINTER_SIZE)
+
+
+@dataclass
+class LeafNode:
+    """Sorted (key, rid) entries plus sibling links for range scans."""
+
+    keys: List[float] = field(default_factory=list)
+    rids: List[int] = field(default_factory=list)
+    prev_page: Optional[int] = None
+    next_page: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.rids):
+            raise ValueError(
+                f"{len(self.keys)} keys but {len(self.rids)} rids"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.keys) * (KEY_SIZE + RID_SIZE)
+
+
+@dataclass
+class InternalNode:
+    """Routing node: ``children[i]`` covers keys < ``separators[i]``,
+    ``children[-1]`` covers the rest (len(children) == len(separators)+1)."""
+
+    separators: List[float] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.children and len(self.children) != len(self.separators) + 1:
+            raise ValueError(
+                f"{len(self.children)} children requires "
+                f"{len(self.children) - 1} separators, "
+                f"got {len(self.separators)}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            len(self.separators) * KEY_SIZE
+            + len(self.children) * POINTER_SIZE
+        )

@@ -1,0 +1,378 @@
+"""Paged B+-tree with bulk loading, inserts, range scans and bidirectional
+cursors.
+
+This is the single index structure under the extended iDistance (§5): all
+subspace projections map to one-dimensional keys and live together in one
+tree.  Every node occupies one simulated page; all reads flow through the
+:class:`~repro.storage.buffer.BufferPool`, so traversals charge exactly the
+I/O the paper's Figure 9 measures, and key comparisons are counted for the
+CPU-cost cross-checks of Figure 10.
+
+The KNN search of iDistance needs more than plain range scans: it starts at
+a key and expands outward in both directions as the query radius grows.
+:class:`BTreeCursor` supports that access pattern — it is positioned between
+entries and steps left or right one entry at a time, fetching sibling leaf
+pages (with accounting) only when it crosses a page boundary.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..storage.buffer import BufferPool
+from ..storage.metrics import CostCounters
+from ..storage.pager import PageStore
+from .node import INTERNAL_CAPACITY, LEAF_CAPACITY, InternalNode, LeafNode
+
+__all__ = ["BPlusTree", "BTreeCursor"]
+
+
+class BPlusTree:
+    """A disk-simulated B+-tree mapping float64 keys to int64 record ids.
+
+    Duplicate keys are allowed (iDistance keys are distances, which tie).
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        pool: BufferPool,
+        leaf_capacity: int = LEAF_CAPACITY,
+        internal_capacity: int = INTERNAL_CAPACITY,
+    ) -> None:
+        if leaf_capacity < 2 or internal_capacity < 3:
+            raise ValueError(
+                "capacities too small for a functioning tree "
+                f"(leaf={leaf_capacity}, internal={internal_capacity})"
+            )
+        self.store = store
+        self.pool = pool
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity
+        self.counters: CostCounters = pool.counters
+        self.root_page: Optional[int] = None
+        self.height = 0
+        self.n_entries = 0
+        self._first_leaf: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def bulk_load(
+        self, keys: Sequence[float], rids: Sequence[int]
+    ) -> None:
+        """Build the tree bottom-up from key-sorted data (classic bulk load:
+        fill leaves left to right, then stack internal levels)."""
+        if self.root_page is not None:
+            raise RuntimeError("tree is already loaded")
+        if len(keys) != len(rids):
+            raise ValueError(f"{len(keys)} keys but {len(rids)} rids")
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("bulk_load requires keys in ascending order")
+        if not keys:
+            # Empty tree: a single empty leaf as root.
+            leaf = LeafNode()
+            self.root_page = self.store.allocate(leaf, leaf.size_bytes)
+            self._first_leaf = self.root_page
+            self.height = 1
+            return
+
+        # Fill leaves at ~90% so early inserts do not split immediately.
+        fill = max(2, int(self.leaf_capacity * 0.9))
+        leaf_pages: List[int] = []
+        leaf_high_keys: List[float] = []
+        prev_page: Optional[int] = None
+        for lo in range(0, len(keys), fill):
+            hi = min(lo + fill, len(keys))
+            leaf = LeafNode(
+                keys=[float(k) for k in keys[lo:hi]],
+                rids=[int(r) for r in rids[lo:hi]],
+                prev_page=prev_page,
+            )
+            page_id = self.store.allocate(leaf, leaf.size_bytes)
+            if prev_page is not None:
+                prev_leaf = self.store.fetch(prev_page).payload
+                prev_leaf.next_page = page_id
+                self.store.overwrite(
+                    prev_page, prev_leaf, prev_leaf.size_bytes
+                )
+            leaf_pages.append(page_id)
+            leaf_high_keys.append(float(keys[hi - 1]))
+            prev_page = page_id
+        self._first_leaf = leaf_pages[0]
+        self.n_entries = len(keys)
+
+        level_pages = leaf_pages
+        level_high = leaf_high_keys
+        self.height = 1
+        ifill = max(3, int(self.internal_capacity * 0.9))
+        while len(level_pages) > 1:
+            next_pages: List[int] = []
+            next_high: List[float] = []
+            for lo in range(0, len(level_pages), ifill):
+                hi = min(lo + ifill, len(level_pages))
+                children = level_pages[lo:hi]
+                separators = level_high[lo:hi - 1]
+                node = InternalNode(
+                    separators=list(separators), children=list(children)
+                )
+                next_pages.append(
+                    self.store.allocate(node, node.size_bytes)
+                )
+                next_high.append(level_high[hi - 1])
+            level_pages = next_pages
+            level_high = next_high
+            self.height += 1
+        self.root_page = level_pages[0]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _descend(self, key: float) -> int:
+        """Page id of the leaf that should contain ``key``; a separator
+        equal to ``key`` routes right so the leaf holding the first entry
+        ``>= key`` is found."""
+        if self.root_page is None:
+            raise RuntimeError("tree is empty; bulk_load or insert first")
+        page_id = self.root_page
+        node = self.pool.read(page_id)
+        while not node.is_leaf:
+            idx = bisect.bisect_left(node.separators, key)
+            self.counters.count_key_comparison(
+                max(1, len(node.separators).bit_length())
+            )
+            page_id = node.children[idx]
+            node = self.pool.read(page_id)
+        return page_id
+
+    def search(self, key: float) -> List[int]:
+        """All rids stored under exactly ``key`` (duplicates included)."""
+        rids: List[int] = []
+        for k, rid in self.range(key, key):
+            del k
+            rids.append(rid)
+        return rids
+
+    def range(
+        self, lo: float, hi: float
+    ) -> Iterator[Tuple[float, int]]:
+        """Yield ``(key, rid)`` for all entries with ``lo <= key <= hi``."""
+        if self.root_page is None:
+            return
+        if hi < lo:
+            return
+        page_id: Optional[int] = self._descend(lo)
+        while page_id is not None:
+            leaf: LeafNode = self.pool.read(page_id)
+            start = bisect.bisect_left(leaf.keys, lo)
+            self.counters.count_key_comparison(
+                max(1, len(leaf.keys).bit_length())
+            )
+            for idx in range(start, len(leaf.keys)):
+                if leaf.keys[idx] > hi:
+                    return
+                self.counters.count_key_comparison()
+                yield leaf.keys[idx], leaf.rids[idx]
+            page_id = leaf.next_page
+
+    def cursor(self, key: float) -> "BTreeCursor":
+        """A bidirectional cursor positioned at the first entry >= key."""
+        if self.root_page is None:
+            raise RuntimeError("tree is empty; bulk_load or insert first")
+        page_id = self._descend(key)
+        leaf: LeafNode = self.pool.read(page_id)
+        idx = bisect.bisect_left(leaf.keys, key)
+        self.counters.count_key_comparison(
+            max(1, len(leaf.keys).bit_length())
+        )
+        return BTreeCursor(self, page_id, idx)
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, rid: int) -> None:
+        """Insert one entry, splitting nodes on overflow (root included)."""
+        key = float(key)
+        rid = int(rid)
+        if self.root_page is None:
+            leaf = LeafNode(keys=[key], rids=[rid])
+            self.root_page = self.store.allocate(leaf, leaf.size_bytes)
+            self._first_leaf = self.root_page
+            self.height = 1
+            self.n_entries = 1
+            return
+
+        path: List[Tuple[int, int]] = []  # (page_id, child_idx) per level
+        page_id = self.root_page
+        node = self.pool.read(page_id)
+        while not node.is_leaf:
+            idx = bisect.bisect_left(node.separators, key)
+            path.append((page_id, idx))
+            page_id = node.children[idx]
+            node = self.pool.read(page_id)
+
+        leaf: LeafNode = node
+        pos = bisect.bisect_right(leaf.keys, key)
+        leaf.keys.insert(pos, key)
+        leaf.rids.insert(pos, rid)
+        self.n_entries += 1
+        if len(leaf.keys) <= self.leaf_capacity:
+            self.store.overwrite(page_id, leaf, leaf.size_bytes)
+            self.pool.invalidate(page_id)
+            return
+
+        # Leaf split: right half moves to a new page.
+        mid = len(leaf.keys) // 2
+        right = LeafNode(
+            keys=leaf.keys[mid:],
+            rids=leaf.rids[mid:],
+            prev_page=page_id,
+            next_page=leaf.next_page,
+        )
+        right_page = self.store.allocate(right, right.size_bytes)
+        if leaf.next_page is not None:
+            nxt = self.store.fetch(leaf.next_page).payload
+            nxt.prev_page = right_page
+            self.store.overwrite(leaf.next_page, nxt, nxt.size_bytes)
+            self.pool.invalidate(leaf.next_page)
+        leaf.keys = leaf.keys[:mid]
+        leaf.rids = leaf.rids[:mid]
+        leaf.next_page = right_page
+        self.store.overwrite(page_id, leaf, leaf.size_bytes)
+        self.pool.invalidate(page_id)
+        self._insert_into_parent(
+            path, page_id, leaf.keys[-1], right_page
+        )
+
+    def _insert_into_parent(
+        self,
+        path: List[Tuple[int, int]],
+        left_page: int,
+        separator: float,
+        right_page: int,
+    ) -> None:
+        if not path:
+            root = InternalNode(
+                separators=[separator], children=[left_page, right_page]
+            )
+            self.root_page = self.store.allocate(root, root.size_bytes)
+            self.height += 1
+            return
+        parent_page, child_idx = path.pop()
+        parent: InternalNode = self.store.fetch(parent_page).payload
+        parent.separators.insert(child_idx, separator)
+        parent.children.insert(child_idx + 1, right_page)
+        if len(parent.children) <= self.internal_capacity:
+            self.store.overwrite(parent_page, parent, parent.size_bytes)
+            self.pool.invalidate(parent_page)
+            return
+        mid = len(parent.separators) // 2
+        promote = parent.separators[mid]
+        right = InternalNode(
+            separators=parent.separators[mid + 1:],
+            children=parent.children[mid + 1:],
+        )
+        right_id = self.store.allocate(right, right.size_bytes)
+        parent.separators = parent.separators[:mid]
+        parent.children = parent.children[: mid + 1]
+        self.store.overwrite(parent_page, parent, parent.size_bytes)
+        self.pool.invalidate(parent_page)
+        self._insert_into_parent(path, parent_page, promote, right_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n_entries
+
+    def items(self) -> Iterator[Tuple[float, int]]:
+        """All entries in key order (sequential leaf walk, with I/O)."""
+        page_id = self._first_leaf
+        while page_id is not None:
+            leaf: LeafNode = self.pool.read(page_id)
+            yield from zip(leaf.keys, leaf.rids)
+            page_id = leaf.next_page
+
+    def leaf_page_ids(self) -> List[int]:
+        """Leaf pages left to right (no I/O accounting; test helper)."""
+        pages = []
+        page_id = self._first_leaf
+        while page_id is not None:
+            pages.append(page_id)
+            page_id = self.store.fetch(page_id).payload.next_page
+        return pages
+
+
+class BTreeCursor:
+    """Bidirectional entry cursor for iDistance's outward leaf expansion.
+
+    The cursor sits *between* entries: ``peek_next`` returns the entry at
+    the current position (first entry >= the seek key right after
+    :meth:`BPlusTree.cursor`), ``peek_prev`` the one before it.  ``next`` /
+    ``prev`` return the same entries and advance.  Crossing a page boundary
+    reads the sibling leaf through the buffer pool.
+    """
+
+    def __init__(self, tree: BPlusTree, page_id: int, index: int) -> None:
+        self.tree = tree
+        self.page_id: Optional[int] = page_id
+        self.index = index  # position within the current leaf
+
+    def _leaf(self, page_id: int) -> LeafNode:
+        return self.tree.pool.read(page_id)
+
+    def peek_next(self) -> Optional[Tuple[float, int]]:
+        entry = self._entry_at(self.page_id, self.index)
+        return entry[0] if entry else None
+
+    def next(self) -> Optional[Tuple[float, int]]:
+        entry = self._entry_at(self.page_id, self.index)
+        if entry is None:
+            return None
+        (key_rid, page_id, index) = entry
+        self.page_id, self.index = page_id, index + 1
+        return key_rid
+
+    def _entry_at(self, page_id: Optional[int], index: int):
+        """Resolve (entry, page, idx) skipping empty leaves rightward."""
+        while page_id is not None:
+            leaf = self._leaf(page_id)
+            if index < len(leaf.keys):
+                return (leaf.keys[index], leaf.rids[index]), page_id, index
+            page_id = leaf.next_page
+            index = 0
+        return None
+
+    def peek_prev(self) -> Optional[Tuple[float, int]]:
+        entry = self._entry_before(self.page_id, self.index)
+        return entry[0] if entry else None
+
+    def prev(self) -> Optional[Tuple[float, int]]:
+        entry = self._entry_before(self.page_id, self.index)
+        if entry is None:
+            return None
+        (key_rid, page_id, index) = entry
+        self.page_id, self.index = page_id, index
+        return key_rid
+
+    def _entry_before(self, page_id: Optional[int], index: int):
+        if page_id is None:
+            return None
+        while True:
+            if index > 0:
+                leaf = self._leaf(page_id)
+                return (
+                    (leaf.keys[index - 1], leaf.rids[index - 1]),
+                    page_id,
+                    index - 1,
+                )
+            leaf = self._leaf(page_id)
+            if leaf.prev_page is None:
+                return None
+            page_id = leaf.prev_page
+            index = len(self._leaf(page_id).keys)

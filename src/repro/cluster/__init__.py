@@ -1,0 +1,21 @@
+"""Clustering substrate: Euclidean k-means and elliptical k-means.
+
+Euclidean k-means (``kmeans``) backs the LDR baseline; elliptical k-means
+(:class:`EllipticalKMeans`) — the Sung–Poggio nested-loop algorithm under the
+normalized Mahalanobis distance, with the paper's §4.2 lookup-table and
+activity optimizations — is the engine inside MMDR's `Generate Ellipsoid`.
+"""
+
+from .elliptical import EllipticalKMeans, EllipticalKMeansResult
+from .kmeans import KMeansResult, euclidean_sq, kmeans, kmeans_pp_seeds
+from .lookup import CentroidLookupTable
+
+__all__ = [
+    "CentroidLookupTable",
+    "EllipticalKMeans",
+    "EllipticalKMeansResult",
+    "KMeansResult",
+    "euclidean_sq",
+    "kmeans",
+    "kmeans_pp_seeds",
+]

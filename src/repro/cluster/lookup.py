@@ -1,0 +1,110 @@
+"""Lookup table for elliptical k-means (paper §4.2).
+
+The most expensive step of MMDR is the Mahalanobis distance computation
+between every point and every centroid, each clustering iteration.  The
+paper's first optimization caches, per point, the IDs of the ``k`` closest
+centroids found in the previous iteration; later iterations compute
+distances only against those candidates, and an entry is refreshed only when
+the point's membership actually changes.  The second optimization adds an
+*Activity* field counting consecutive iterations without a membership
+change; once the count passes a threshold the point is *inactive* and skips
+distance computation entirely until the number of clusters changes.
+
+This module holds the table itself; the driving logic lives in
+:mod:`repro.cluster.elliptical`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CentroidLookupTable"]
+
+
+class CentroidLookupTable:
+    """Per-point cache of candidate centroid IDs plus an activity counter.
+
+    Parameters
+    ----------
+    n_points:
+        Number of data points.
+    k:
+        Candidate list length (Table 1 default is 3).
+    activity_threshold:
+        Consecutive no-change iterations after which a point is *inactive*
+        (the scalability experiment in §6.3 uses 10).
+    """
+
+    def __init__(
+        self, n_points: int, k: int, activity_threshold: int
+    ) -> None:
+        if n_points < 0:
+            raise ValueError(f"n_points must be >= 0, got {n_points}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if activity_threshold < 1:
+            raise ValueError(
+                f"activity_threshold must be >= 1, got {activity_threshold}"
+            )
+        self.n_points = n_points
+        self.k = k
+        self.activity_threshold = activity_threshold
+        # -1 marks "no candidates cached yet".
+        self.candidates = np.full((n_points, k), -1, dtype=np.int64)
+        self.activity = np.zeros(n_points, dtype=np.int64)
+
+    def refresh(self, rows: np.ndarray, distances: np.ndarray) -> None:
+        """Recompute candidate lists for ``rows`` from full distance rows.
+
+        ``distances`` is ``(len(rows), n_clusters)``; the ``k`` smallest
+        entries per row (or all of them when fewer clusters exist) become the
+        new candidate lists, closest first.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        n_clusters = distances.shape[1]
+        keep = min(self.k, n_clusters)
+        order = np.argsort(distances, axis=1)[:, :keep]
+        self.candidates[rows, :keep] = order
+        self.candidates[rows, keep:] = -1
+
+    def candidates_for(self, rows: np.ndarray) -> np.ndarray:
+        """Cached candidate IDs for ``rows`` (may contain -1 padding)."""
+        return self.candidates[np.asarray(rows, dtype=np.int64)]
+
+    def record_outcome(self, rows: np.ndarray, changed: np.ndarray) -> None:
+        """Update activity counters after an assignment step.
+
+        ``changed`` is a boolean array aligned with ``rows``: points whose
+        membership changed reset to 0, others increment.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        changed = np.asarray(changed, dtype=bool)
+        if rows.shape != changed.shape:
+            raise ValueError(
+                f"rows shape {rows.shape} != changed shape {changed.shape}"
+            )
+        self.activity[rows[changed]] = 0
+        self.activity[rows[~changed]] += 1
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of points still doing distance computations."""
+        return self.activity < self.activity_threshold
+
+    def reactivate_all(self) -> None:
+        """Wake every point (the paper does this when the number of clusters
+        changes)."""
+        self.activity[:] = 0
+
+    def invalidate(self) -> None:
+        """Drop all cached candidates (e.g. after covariances are refitted)
+        without touching activity state."""
+        self.candidates[:] = -1
+
+    @property
+    def inactive_fraction(self) -> float:
+        """Share of points currently inactive (diagnostic for §4.2 claims)."""
+        if self.n_points == 0:
+            return 0.0
+        return float(np.count_nonzero(~self.active_mask())) / self.n_points

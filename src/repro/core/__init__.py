@@ -1,0 +1,40 @@
+"""MMDR core — the paper's primary contribution.
+
+* :class:`MMDRConfig` — Table 1 parameters.
+* :class:`MMDR` — `Generate Ellipsoid` + `Dimensionality Optimization`
+  (Figure 4).
+* :class:`ScalableMMDR` — the §4.3 data-stream variant for datasets larger
+  than the buffer.
+* :class:`MMDRModel` / :class:`EllipticalSubspace` / :class:`OutlierSet` —
+  the fitted reduction consumed by the extended iDistance.
+* :mod:`~repro.core.geometry` — Definitions 3.1/3.4/3.5 (ellipticity,
+  projection distances, MPE).
+"""
+
+from .config import DEFAULT_CONFIG, MMDRConfig
+from .geometry import (
+    ProjectionDistances,
+    ellipticity,
+    mean_projection_error,
+    projection_distances,
+)
+from .mmdr import MMDR, CandidateEllipsoid
+from .scalable import EllipsoidArrayEntry, ScalableMMDR
+from .subspace import EllipticalSubspace, MMDRModel, MMDRStats, OutlierSet
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "MMDR",
+    "CandidateEllipsoid",
+    "EllipsoidArrayEntry",
+    "EllipticalSubspace",
+    "MMDRConfig",
+    "MMDRModel",
+    "MMDRStats",
+    "OutlierSet",
+    "ProjectionDistances",
+    "ScalableMMDR",
+    "ellipticity",
+    "mean_projection_error",
+    "projection_distances",
+]

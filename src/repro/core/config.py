@@ -1,0 +1,125 @@
+"""MMDR configuration — Table 1 of the paper, as a frozen dataclass.
+
+Symbols map as follows (Table 1 defaults in parentheses):
+
+===========  =========================  =======================================
+Paper        Field                      Meaning
+===========  =========================  =======================================
+β (0.1)      ``beta``                   ProjDist_r threshold: points whose
+                                        distance to their cluster's retained
+                                        subspace exceeds β become outliers
+MaxMPE       ``max_mpe``                max mean projection error for a
+(0.05)                                  semi-ellipsoid to count as discovered
+MaxEC (10)   ``max_clusters``           max elliptical clusters
+MaxDim (20)  ``max_dim``                max retained dimensionality
+ε (0.005)    ``stream_fraction``        data-stream size as a share of N
+ξ (0.005)    ``outlier_fraction``       expected share of uncorrelated noise
+                                        (used by workload generators and as a
+                                        sanity bound in diagnostics)
+k (3)        ``lookup_k``               candidate IDs per lookup-table entry
+===========  =========================  =======================================
+
+Parameters the paper mentions but leaves unnumbered get explicit fields with
+conservative defaults: the Dimensionality Optimization "change of MPE"
+threshold (§4.1 line 15), the initial subspace dimensionality the multi-level
+recursion starts from, the activity threshold (§6.3 uses 10), and clustering
+iteration caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..linalg.mahalanobis import Normalization
+
+__all__ = ["MMDRConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class MMDRConfig:
+    """All knobs of the MMDR pipeline.  Instances are immutable; derive
+    variants with :meth:`with_overrides`."""
+
+    # --- Table 1 symbols -------------------------------------------------
+    beta: float = 0.1
+    max_mpe: float = 0.05
+    max_clusters: int = 10
+    max_dim: int = 20
+    stream_fraction: float = 0.005
+    outlier_fraction: float = 0.005
+    lookup_k: int = 3
+
+    # --- unnumbered paper parameters -------------------------------------
+    #: s_dim the Generate Ellipsoid recursion starts from (§4.1 starts "with
+    #: a small subspace dimensionality"; the worked example uses 1).
+    initial_subspace_dim: int = 1
+    #: "change of MPE < threshold" in Dimensionality Optimization line 15.
+    #: Must sit between the MPE jump from dropping a *noise* direction
+    #: (tiny) and from dropping a *signal* direction (>= its sigma scale).
+    mpe_change_threshold: float = 0.005
+    #: Iterations without a membership change before a point is inactive
+    #: (§6.3 fixes this to 10).
+    activity_threshold: int = 10
+
+    # --- engineering parameters ------------------------------------------
+    #: Groups smaller than this are routed to the outlier set instead of
+    #: being fitted as ellipsoids (a covariance from a handful of points in
+    #: a high-dimensional space is meaningless).
+    min_cluster_size: int = 30
+    #: Distance normalization for elliptical k-means; "gaussian" is the
+    #: Sung–Poggio form, "paper" the verbatim Definition 3.2 formula.
+    normalization: Normalization = "gaussian"
+    #: Whether elliptical k-means uses the §4.2 lookup table / activity
+    #: optimizations (switchable for the ablation benchmarks).
+    use_lookup: bool = True
+    use_activity: bool = True
+    #: Merge discovered ellipsoids whose union still passes MaxMPE — undoes
+    #: the over-segmentation elliptical k-means produces on one true cluster.
+    merge_compatible: bool = True
+    max_outer_iterations: int = 10
+    max_inner_iterations: int = 25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta:
+            raise ValueError(f"beta must be > 0, got {self.beta}")
+        if not 0.0 < self.max_mpe:
+            raise ValueError(f"max_mpe must be > 0, got {self.max_mpe}")
+        if self.max_clusters < 1:
+            raise ValueError(
+                f"max_clusters must be >= 1, got {self.max_clusters}"
+            )
+        if self.max_dim < 1:
+            raise ValueError(f"max_dim must be >= 1, got {self.max_dim}")
+        if not 0.0 < self.stream_fraction <= 1.0:
+            raise ValueError(
+                f"stream_fraction must be in (0, 1], got {self.stream_fraction}"
+            )
+        if not 0.0 <= self.outlier_fraction < 1.0:
+            raise ValueError(
+                f"outlier_fraction must be in [0, 1), got {self.outlier_fraction}"
+            )
+        if self.lookup_k < 1:
+            raise ValueError(f"lookup_k must be >= 1, got {self.lookup_k}")
+        if self.initial_subspace_dim < 1:
+            raise ValueError(
+                "initial_subspace_dim must be >= 1, "
+                f"got {self.initial_subspace_dim}"
+            )
+        if self.mpe_change_threshold < 0.0:
+            raise ValueError(
+                "mpe_change_threshold must be >= 0, "
+                f"got {self.mpe_change_threshold}"
+            )
+        if self.min_cluster_size < 2:
+            raise ValueError(
+                f"min_cluster_size must be >= 2, got {self.min_cluster_size}"
+            )
+
+    def with_overrides(self, **changes: Any) -> "MMDRConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+
+#: The paper's defaults, ready to import.
+DEFAULT_CONFIG = MMDRConfig()

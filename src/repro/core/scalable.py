@@ -1,0 +1,274 @@
+"""Scalable MMDR for datasets larger than the buffer (paper §4.3).
+
+Naive MMDR re-scans the whole dataset on every clustering iteration; once
+the data outgrows the buffer pool each iteration pays physical I/O again.
+Scalable MMDR instead:
+
+1. splits the dataset into *data streams* of ε·N points read in index order,
+2. runs `Generate Ellipsoid` on one stream at a time, keeping only the
+   resulting small ellipsoids' centroids (and sizes) in an in-memory
+   *Ellipsoid Array*,
+3. after all streams are consumed, runs `Generate Ellipsoid` once more over
+   the Ellipsoid Array itself, merging small ellipsoids into the final
+   clusters, and
+4. makes one more sequential pass to route every point to its merged cluster
+   (nearest constituent small-ellipsoid centroid) before the per-cluster
+   Dimensionality Optimization.
+
+The bulk data is therefore scanned sequentially a constant number of times
+regardless of how many iterations the per-stream clustering needs — which is
+why Figure 11a shows no response-time jump when the data passes the 500 K
+buffer limit.  I/O is charged through :class:`~repro.storage.CostCounters`
+as sequential page reads so the experiment can report it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..linalg.pca import fit_pca
+from ..storage.metrics import CostCounters
+from ..storage.pager import pages_for_vectors
+from .config import DEFAULT_CONFIG, MMDRConfig
+from .geometry import projection_distances
+from .mmdr import MMDR, CandidateEllipsoid
+from .subspace import EllipticalSubspace, MMDRModel, MMDRStats, OutlierSet
+
+__all__ = ["ScalableMMDR", "EllipsoidArrayEntry"]
+
+
+@dataclass
+class EllipsoidArrayEntry:
+    """One small ellipsoid produced from a single data stream."""
+
+    centroid: np.ndarray
+    size: int
+    s_dim: int
+
+
+class ScalableMMDR:
+    """Data-stream variant of :class:`~repro.core.mmdr.MMDR`.
+
+    Parameters
+    ----------
+    config:
+        Shared MMDR configuration; ``stream_fraction`` (ε) sets the stream
+        size.
+    min_stream_points:
+        Lower bound on the stream size so tiny datasets still form sane
+        streams (ε·N can be smaller than ``min_cluster_size``).
+    """
+
+    def __init__(
+        self,
+        config: MMDRConfig = DEFAULT_CONFIG,
+        min_stream_points: int = 256,
+    ) -> None:
+        self.config = config
+        self.min_stream_points = min_stream_points
+
+    def fit(
+        self,
+        data: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        counters: Optional[CostCounters] = None,
+    ) -> MMDRModel:
+        """Fit on ``(n, d)`` data using bounded memory per step."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        if n == 0:
+            raise ValueError("cannot fit Scalable MMDR on an empty dataset")
+        rng = rng if rng is not None else np.random.default_rng()
+        counters = counters if counters is not None else CostCounters()
+        start = time.perf_counter()
+        before = counters.snapshot()
+        stats = MMDRStats()
+
+        stream_size = max(
+            self.min_stream_points,
+            int(np.ceil(self.config.stream_fraction * n)),
+        )
+        inner = MMDR(self.config)
+
+        # --- phase 1: per-stream Generate Ellipsoid -> Ellipsoid Array ---
+        array: List[EllipsoidArrayEntry] = []
+        for lo in range(0, n, stream_size):
+            hi = min(lo + stream_size, n)
+            stream = data[lo:hi]
+            counters.count_sequential_read(pages_for_vectors(hi - lo, d))
+            candidates: List[CandidateEllipsoid] = []
+            leftovers: List[np.ndarray] = []
+            inner._generate_ellipsoid(
+                stream,
+                np.arange(hi - lo, dtype=np.int64),
+                min(self.config.initial_subspace_dim, d),
+                candidates,
+                leftovers,
+                rng,
+                counters,
+                stats,
+            )
+            for candidate in candidates:
+                array.append(
+                    EllipsoidArrayEntry(
+                        centroid=stream[candidate.member_ids].mean(axis=0),
+                        size=candidate.member_ids.size,
+                        s_dim=candidate.s_dim,
+                    )
+                )
+            # Stream-local leftovers too small to shape: represent them by
+            # their own centroid so their mass is not lost before the merge.
+            for ids in leftovers:
+                if ids.size:
+                    array.append(
+                        EllipsoidArrayEntry(
+                            centroid=stream[ids].mean(axis=0),
+                            size=ids.size,
+                            s_dim=min(
+                                self.config.initial_subspace_dim, d
+                            ),
+                        )
+                    )
+            stats.streams_processed += 1
+
+        if not array:
+            raise RuntimeError(
+                "no ellipsoids were produced from any data stream"
+            )
+
+        # --- phase 2: merge small ellipsoids via GE on the array ---------
+        centroids = np.vstack([entry.centroid for entry in array])
+        merge_groups = self._merge_array(centroids, inner, rng, counters, stats)
+
+        # --- phase 3: one sequential pass routes points to merged groups -
+        entry_to_group = np.zeros(len(array), dtype=np.int64)
+        for group_idx, entry_ids in enumerate(merge_groups):
+            entry_to_group[entry_ids] = group_idx
+        counters.count_sequential_read(pages_for_vectors(n, d))
+        nearest_entry = self._nearest_centroid(data, centroids, counters)
+        point_group = entry_to_group[nearest_entry]
+
+        # --- phase 4: shared finalization (cap, merge, optimize) ---------
+        # Each merged group becomes a candidate ellipsoid; the shared
+        # `finalize` then caps the count at MaxEC, merges compatible groups,
+        # and runs Dimensionality Optimization exactly as in-memory MMDR.
+        candidates: List[CandidateEllipsoid] = []
+        outlier_pool: List[np.ndarray] = []
+        for group_idx in range(len(merge_groups)):
+            member_ids = np.flatnonzero(point_group == group_idx)
+            if member_ids.size < self.config.min_cluster_size:
+                if member_ids.size:
+                    outlier_pool.append(member_ids)
+                continue
+            group_data = data[member_ids]
+            pca = fit_pca(group_data)
+            s_dim = min(
+                max(
+                    (array[e].s_dim for e in merge_groups[group_idx]),
+                    default=1,
+                ),
+                d,
+            )
+            dists = projection_distances(group_data, pca, s_dim)
+            candidates.append(
+                CandidateEllipsoid(
+                    member_ids=member_ids,
+                    s_dim=s_dim,
+                    pca=pca,
+                    mpe_at_s_dim=dists.mpe,
+                )
+            )
+        if not candidates and outlier_pool:
+            # Degenerate case: everything landed in sub-minimum groups.
+            # Treat the union as one candidate so the model is usable.
+            member_ids = np.sort(np.concatenate(outlier_pool))
+            outlier_pool = []
+            group_data = data[member_ids]
+            pca = fit_pca(group_data)
+            s_dim = min(self.config.initial_subspace_dim, d)
+            candidates.append(
+                CandidateEllipsoid(
+                    member_ids=member_ids,
+                    s_dim=s_dim,
+                    pca=pca,
+                    mpe_at_s_dim=projection_distances(
+                        group_data, pca, s_dim
+                    ).mpe,
+                )
+            )
+        # Raise the noise floor to the full-dataset scale before the
+        # shared finalization (per-stream GE used the small default).
+        inner._min_group = max(
+            self.config.min_cluster_size,
+            int(self.config.outlier_fraction * n),
+        )
+        return inner.finalize(
+            data, candidates, outlier_pool, stats, counters, before, start
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _merge_array(
+        self,
+        centroids: np.ndarray,
+        inner: MMDR,
+        rng: np.random.Generator,
+        counters: CostCounters,
+        stats: MMDRStats,
+    ) -> List[np.ndarray]:
+        """Run Generate Ellipsoid over the Ellipsoid Array's centroids.
+
+        The array is tiny (one entry per stream-level ellipsoid), so the
+        per-group minimum size is relaxed to 1 entry for this pass.
+        """
+        merge_config = self.config.with_overrides(min_cluster_size=2)
+        merger = MMDR(merge_config)
+        candidates: List[CandidateEllipsoid] = []
+        leftovers: List[np.ndarray] = []
+        merger._generate_ellipsoid(
+            centroids,
+            np.arange(centroids.shape[0], dtype=np.int64),
+            min(self.config.initial_subspace_dim, centroids.shape[1]),
+            candidates,
+            leftovers,
+            rng,
+            counters,
+            stats,
+        )
+        groups = [c.member_ids for c in candidates]
+        groups.extend(ids for ids in leftovers if ids.size)
+        if not groups:
+            groups = [np.arange(centroids.shape[0], dtype=np.int64)]
+        return groups
+
+    @staticmethod
+    def _nearest_centroid(
+        data: np.ndarray,
+        centroids: np.ndarray,
+        counters: CostCounters,
+        batch: int = 8192,
+    ) -> np.ndarray:
+        """Index of each point's nearest array centroid, batched to keep the
+        working set bounded (this is the 'one more scan' of phase 3)."""
+        n = data.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        c_sq = np.einsum("ij,ij->i", centroids, centroids)[None, :]
+        for lo in range(0, n, batch):
+            hi = min(lo + batch, n)
+            block = data[lo:hi]
+            dist = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                + c_sq
+                - 2.0 * block @ centroids.T
+            )
+            out[lo:hi] = np.argmin(dist, axis=1)
+            counters.count_distance(
+                (hi - lo) * centroids.shape[0], dims=data.shape[1]
+            )
+        return out

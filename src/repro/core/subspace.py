@@ -1,0 +1,234 @@
+"""Output model of MMDR: elliptical subspaces plus an outlier set.
+
+`Generate Ellipsoid` discovers elliptical clusters; `Dimensionality
+Optimization` fixes each cluster's retained dimensionality ``d_r`` and weeds
+out points whose ``ProjDist_r`` exceeds β.  What remains is exactly what §5
+needs to build the extended iDistance:
+
+* per subspace — the centroid and principal components (the search-time
+  array), and the covariance matrix, Mahalanobis radius and retained
+  dimensionality (the dynamic-insertion array);
+* one :class:`OutlierSet` that stays in the original space and is indexed as
+  "a subspace in its original dimensionality".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EllipticalSubspace", "OutlierSet", "MMDRStats", "MMDRModel"]
+
+
+@dataclass
+class EllipticalSubspace:
+    """One reduced-dimensionality cluster in its own axis system.
+
+    Attributes
+    ----------
+    subspace_id:
+        Position of this subspace in the parent model.
+    mean:
+        ``(d,)`` cluster centroid in the original space; projections are
+        centered on it, so the centroid of the reduced space is the origin.
+    basis:
+        ``(d, d_r)`` orthonormal retained principal components (the
+        :math:`\\Phi_{d_r}` of Definition 3.3, fitted locally).
+    covariance:
+        ``(d, d)`` cluster shape in the original space, kept for dynamic
+        insertion (§5's third data structure).
+    member_ids:
+        Indices (into the fitted dataset) of the points assigned here.
+    projections:
+        ``(len(member_ids), d_r)`` reduced representations of the members.
+    discovered_at_dim:
+        The ``s_dim`` level at which `Generate Ellipsoid` accepted this
+        cluster (before Dimensionality Optimization shrank it to ``d_r``).
+    mpe:
+        Mean ProjDist_r of the final membership at ``d_r``.
+    ellipticity:
+        Generalized ellipticity (Definition 3.4) of the final membership.
+    """
+
+    subspace_id: int
+    mean: np.ndarray
+    basis: np.ndarray
+    covariance: np.ndarray
+    member_ids: np.ndarray
+    projections: np.ndarray
+    discovered_at_dim: int
+    mpe: float
+    ellipticity: float
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64)
+        self.basis = np.asarray(self.basis, dtype=np.float64)
+        self.member_ids = np.asarray(self.member_ids, dtype=np.int64)
+        self.projections = np.asarray(self.projections, dtype=np.float64)
+        if self.basis.ndim != 2:
+            raise ValueError("basis must be a (d, d_r) matrix")
+        if self.projections.shape != (self.member_ids.size, self.reduced_dim):
+            raise ValueError(
+                f"projections shape {self.projections.shape} does not match "
+                f"{self.member_ids.size} members x d_r={self.reduced_dim}"
+            )
+        norms = (
+            np.linalg.norm(self.projections, axis=1)
+            if self.member_ids.size
+            else np.zeros(0)
+        )
+        #: Distance from the reduced-space origin to the farthest member —
+        #: the subspace radius the iDistance search prunes with.
+        self.max_radius: float = float(norms.max()) if norms.size else 0.0
+        #: ... and to the nearest member (iDistance's inner bound).
+        self.min_radius: float = float(norms.min()) if norms.size else 0.0
+
+    @property
+    def original_dim(self) -> int:
+        """Original dimensionality ``d``."""
+        return self.basis.shape[0]
+
+    @property
+    def reduced_dim(self) -> int:
+        """Retained dimensionality ``d_r``."""
+        return self.basis.shape[1]
+
+    @property
+    def size(self) -> int:
+        return self.member_ids.size
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Map original-space point(s) into this subspace's axis system."""
+        arr = np.asarray(points, dtype=np.float64)
+        return (arr - self.mean) @ self.basis
+
+    def proj_dist_r(self, points: np.ndarray) -> np.ndarray:
+        """ProjDist_r of arbitrary point(s) w.r.t. this subspace.
+
+        Computed as the reconstruction residual, which equals the norm along
+        the eliminated components because the basis is orthonormal.
+        """
+        arr = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        centered = arr - self.mean
+        retained = centered @ self.basis
+        residual = centered - retained @ self.basis.T
+        return np.linalg.norm(residual, axis=1)
+
+    def reconstruct(self, projections: np.ndarray) -> np.ndarray:
+        """Lossy inverse of :meth:`project`."""
+        arr = np.asarray(projections, dtype=np.float64)
+        return arr @ self.basis.T + self.mean
+
+
+@dataclass
+class OutlierSet:
+    """Points that no subspace represents within β; kept at full ``d``."""
+
+    member_ids: np.ndarray
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.member_ids = np.asarray(self.member_ids, dtype=np.int64)
+        self.points = np.atleast_2d(np.asarray(self.points, dtype=np.float64))
+        if self.member_ids.size == 0:
+            self.points = self.points.reshape(0, self.points.shape[-1])
+        if self.points.shape[0] != self.member_ids.size:
+            raise ValueError(
+                f"{self.member_ids.size} ids but {self.points.shape[0]} points"
+            )
+        #: Centroid used as the outlier partition's iDistance reference point.
+        self.centroid: np.ndarray = (
+            self.points.mean(axis=0)
+            if self.member_ids.size
+            else np.zeros(self.points.shape[1])
+        )
+        norms = (
+            np.linalg.norm(self.points - self.centroid, axis=1)
+            if self.member_ids.size
+            else np.zeros(0)
+        )
+        self.max_radius: float = float(norms.max()) if norms.size else 0.0
+
+    @property
+    def size(self) -> int:
+        return self.member_ids.size
+
+
+@dataclass
+class MMDRStats:
+    """Bookkeeping from one MMDR fit (feeds the scalability figures)."""
+
+    fit_seconds: float = 0.0
+    levels_used: List[int] = field(default_factory=list)
+    clustering_inner_iterations: int = 0
+    clustering_outer_iterations: int = 0
+    distance_computations: int = 0
+    streams_processed: int = 0
+
+
+@dataclass
+class MMDRModel:
+    """A fitted MMDR reduction: subspaces, outliers, and fit statistics."""
+
+    subspaces: List[EllipticalSubspace]
+    outliers: OutlierSet
+    n_points: int
+    dimensionality: int
+    stats: MMDRStats = field(default_factory=MMDRStats)
+
+    @property
+    def n_subspaces(self) -> int:
+        return len(self.subspaces)
+
+    def reduced_dims(self) -> List[int]:
+        """Per-subspace optimal dimensionalities (each can differ)."""
+        return [s.reduced_dim for s in self.subspaces]
+
+    def labels(self) -> np.ndarray:
+        """Per-point subspace id, with ``-1`` for outliers."""
+        labels = np.full(self.n_points, -1, dtype=np.int64)
+        for subspace in self.subspaces:
+            labels[subspace.member_ids] = subspace.subspace_id
+        return labels
+
+    def coverage(self) -> float:
+        """Fraction of points represented by some subspace (non-outliers)."""
+        if self.n_points == 0:
+            return 0.0
+        covered = sum(s.size for s in self.subspaces)
+        return covered / self.n_points
+
+    def assign(self, point: np.ndarray, beta: float) -> Tuple[int, Optional[np.ndarray]]:
+        """Dynamic-insertion routing (§5): the subspace with the smallest
+        ProjDist_r hosts the point if that distance is within β, otherwise
+        the point is an outlier.
+
+        Returns ``(subspace_id, projection)`` or ``(-1, None)``.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        best_id, best_dist = -1, np.inf
+        for subspace in self.subspaces:
+            dist = float(subspace.proj_dist_r(point)[0])
+            if dist < best_dist:
+                best_id, best_dist = subspace.subspace_id, dist
+        if best_id >= 0 and best_dist <= beta:
+            return best_id, self.subspaces[best_id].project(point)
+        return -1, None
+
+    def summary(self) -> str:
+        """Human-readable inventory (used by examples and docs)."""
+        lines = [
+            f"MMDRModel: {self.n_points} points, d={self.dimensionality}, "
+            f"{self.n_subspaces} subspaces, {self.outliers.size} outliers "
+            f"({self.coverage():.1%} coverage)"
+        ]
+        for s in self.subspaces:
+            lines.append(
+                f"  subspace {s.subspace_id}: {s.size} pts, "
+                f"d_r={s.reduced_dim} (found at s_dim={s.discovered_at_dim}), "
+                f"MPE={s.mpe:.4f}, e={s.ellipticity:.2f}, "
+                f"radius=[{s.min_radius:.3f}, {s.max_radius:.3f}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Datasets and workloads for the reproduction.
+
+* :func:`generate_correlated_clusters` — the paper's Appendix-A GCD
+  generator (rotated, locally correlated clusters).
+* :func:`generate_color_histograms` — simulated Corel 64-d color histograms
+  (skewed, sparse, loosely themed; see DESIGN.md substitutions).
+* :func:`sample_queries` — the 100-query / 10-NN workloads of §6.
+"""
+
+from .colorhist import ColorHistogramSpec, generate_color_histograms
+from .synthetic import (
+    ClusterSpec,
+    SyntheticDataset,
+    SyntheticSpec,
+    generate_correlated_clusters,
+    spec_for_ellipticity,
+)
+from .workload import QueryWorkload, sample_queries
+
+__all__ = [
+    "ClusterSpec",
+    "ColorHistogramSpec",
+    "QueryWorkload",
+    "SyntheticDataset",
+    "SyntheticSpec",
+    "generate_color_histograms",
+    "generate_correlated_clusters",
+    "sample_queries",
+    "spec_for_ellipticity",
+]

@@ -1,0 +1,24 @@
+"""Evaluation: precision metric, experiment harness, text reporting."""
+
+from .harness import BatchCost, compare_index_schemes, run_query_batch
+from .precision import (
+    PrecisionReport,
+    evaluate_precision,
+    exact_knn,
+    precision_at_k,
+    reduced_knn,
+)
+from .reporting import format_series, format_table
+
+__all__ = [
+    "BatchCost",
+    "PrecisionReport",
+    "compare_index_schemes",
+    "evaluate_precision",
+    "exact_knn",
+    "format_series",
+    "format_table",
+    "precision_at_k",
+    "reduced_knn",
+    "run_query_batch",
+]

@@ -1,0 +1,114 @@
+"""Experiment runner: build indexes, run query batches, aggregate costs.
+
+One :func:`run_query_batch` call realizes one (index scheme, dataset,
+dimensionality) point of Figures 9/10: it answers every workload query on a
+cold cache and averages page reads, CPU seconds and the deterministic CPU
+work proxy.  :func:`compare_index_schemes` assembles the full panel the
+paper plots (iMMDR, iLDR, gLDR, sequential scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.workload import QueryWorkload
+from ..index.base import VectorIndex
+from ..index.global_ldr import GlobalLDRIndex
+from ..index.idistance import ExtendedIDistance
+from ..index.seqscan import SequentialScan
+from ..reduction.base import ReducedDataset
+
+__all__ = ["BatchCost", "run_query_batch", "compare_index_schemes"]
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Per-query averages over one workload on one index."""
+
+    scheme: str
+    mean_page_reads: float
+    mean_cpu_seconds: float
+    median_cpu_seconds: float
+    mean_cpu_work: float
+    mean_distance_computations: float
+    n_queries: int
+    index_pages: int
+
+
+def run_query_batch(
+    index: VectorIndex,
+    workload: QueryWorkload,
+    cold_cache: bool = True,
+    collect_ids: Optional[List[np.ndarray]] = None,
+) -> BatchCost:
+    """Answer every query; return per-query cost averages.
+
+    ``cold_cache=True`` clears the buffer pool before each query, making
+    page counts per-query comparable (the paper reports per-query page
+    accesses).  Pass a list as ``collect_ids`` to also receive each query's
+    answer ids (for precision checks on the same run).
+    """
+    pages: List[int] = []
+    cpu: List[float] = []
+    work: List[int] = []
+    dists: List[int] = []
+    for query in workload.queries:
+        if cold_cache:
+            index.reset_cache()
+        result = index.knn(query, workload.k)
+        pages.append(result.stats.page_reads)
+        cpu.append(result.stats.cpu_seconds)
+        work.append(result.stats.cpu_work)
+        dists.append(result.stats.distance_computations)
+        if collect_ids is not None:
+            collect_ids.append(result.ids)
+    return BatchCost(
+        scheme=index.name,
+        mean_page_reads=float(np.mean(pages)),
+        mean_cpu_seconds=float(np.mean(cpu)),
+        median_cpu_seconds=float(np.median(cpu)),
+        mean_cpu_work=float(np.mean(work)),
+        mean_distance_computations=float(np.mean(dists)),
+        n_queries=workload.n_queries,
+        index_pages=index.size_pages,
+    )
+
+
+def compare_index_schemes(
+    reduced_mmdr: ReducedDataset,
+    reduced_ldr: ReducedDataset,
+    workload: QueryWorkload,
+    include_seqscan: bool = True,
+) -> Dict[str, BatchCost]:
+    """The full Figure 9/10 panel at one dimensionality.
+
+    * ``iMMDR`` — extended iDistance over the MMDR reduction,
+    * ``iLDR`` — extended iDistance over the LDR reduction,
+    * ``gLDR`` — one Hybrid tree per LDR cluster,
+    * ``SeqScan`` — sequential scan of the LDR reduction.
+    """
+    builders: Dict[str, Callable[[], VectorIndex]] = {
+        "iMMDR": lambda: ExtendedIDistance(reduced_mmdr),
+        "iLDR": lambda: ExtendedIDistance(reduced_ldr),
+        "gLDR": lambda: GlobalLDRIndex(reduced_ldr),
+    }
+    if include_seqscan:
+        builders["SeqScan"] = lambda: SequentialScan(reduced_ldr)
+    results: Dict[str, BatchCost] = {}
+    for label, build in builders.items():
+        index = build()
+        cost = run_query_batch(index, workload)
+        results[label] = BatchCost(
+            scheme=label,
+            mean_page_reads=cost.mean_page_reads,
+            mean_cpu_seconds=cost.mean_cpu_seconds,
+            median_cpu_seconds=cost.median_cpu_seconds,
+            mean_cpu_work=cost.mean_cpu_work,
+            mean_distance_computations=cost.mean_distance_computations,
+            n_queries=cost.n_queries,
+            index_pages=cost.index_pages,
+        )
+    return results

@@ -1,0 +1,164 @@
+"""Query precision (§6): ground truth KNN vs KNN in the reduced spaces.
+
+The paper defines precision as ``|R_dr ∩ R_d| / |R_d|`` where ``R_d`` is the
+KNN answer computed with L2 distance in the original space and ``R_dr`` the
+answer computed in the reduced subspaces.  Reduction is lossy, so reduced
+distances underestimate true distances and the reduced answer drifts from
+the true one; a better reduction loses less distance information and keeps
+precision higher.
+
+Reduced-space KNN semantics (matching the extended iDistance's final answer
+set): for a query ``q`` and a subspace ``i`` with reference frame
+``(mean_i, basis_i)``, every member ``P`` of that subspace scores
+``||q_i - P_i||`` with ``q_i = (q - mean_i) · basis_i``; outliers (stored at
+full dimensionality) score their exact L2 distance.  The K smallest scores
+across all subspaces and the outlier set form ``R_dr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..data.workload import QueryWorkload
+from ..reduction.base import ReducedDataset
+
+__all__ = [
+    "exact_knn",
+    "reduced_knn",
+    "precision_at_k",
+    "PrecisionReport",
+    "evaluate_precision",
+]
+
+
+def exact_knn(
+    data: np.ndarray, queries: np.ndarray, k: int, batch: int = 256
+) -> np.ndarray:
+    """IDs of the K nearest neighbors (L2, original space) per query.
+
+    Returns ``(n_queries, k)`` int ids, nearest first.  Batched so the
+    ``(n_queries, n_points)`` distance matrix never fully materializes.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    n = data.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, n)
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    d_sq = np.einsum("ij,ij->i", data, data)
+    for lo in range(0, queries.shape[0], batch):
+        hi = min(lo + batch, queries.shape[0])
+        block = queries[lo:hi]
+        dist = (
+            np.einsum("ij,ij->i", block, block)[:, None]
+            + d_sq[None, :]
+            - 2.0 * block @ data.T
+        )
+        part = np.argpartition(dist, k - 1, axis=1)[:, :k]
+        row_dist = np.take_along_axis(dist, part, axis=1)
+        order = np.argsort(row_dist, axis=1)
+        out[lo:hi] = np.take_along_axis(part, order, axis=1)
+    return out
+
+
+def reduced_knn(
+    reduced: ReducedDataset, queries: np.ndarray, k: int
+) -> np.ndarray:
+    """IDs of the K nearest neighbors per query, scored in reduced spaces.
+
+    Scores are squared distances (monotone with distances, cheaper); the
+    outlier partition scores exact squared L2 since it keeps full
+    dimensionality.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    nq = queries.shape[0]
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, reduced.n_points)
+
+    all_ids: List[np.ndarray] = []
+    all_scores: List[np.ndarray] = []
+    for subspace in reduced.subspaces:
+        q_proj = subspace.project(queries)  # (nq, d_r)
+        p = subspace.projections  # (m, d_r)
+        dist = (
+            np.einsum("ij,ij->i", q_proj, q_proj)[:, None]
+            + np.einsum("ij,ij->i", p, p)[None, :]
+            - 2.0 * q_proj @ p.T
+        )
+        all_ids.append(subspace.member_ids)
+        all_scores.append(dist)
+    if reduced.outliers.size:
+        pts = reduced.outliers.points
+        dist = (
+            np.einsum("ij,ij->i", queries, queries)[:, None]
+            + np.einsum("ij,ij->i", pts, pts)[None, :]
+            - 2.0 * queries @ pts.T
+        )
+        all_ids.append(reduced.outliers.member_ids)
+        all_scores.append(dist)
+
+    ids = np.concatenate(all_ids)
+    scores = np.concatenate(all_scores, axis=1)
+    np.clip(scores, 0.0, None, out=scores)
+    part = np.argpartition(scores, k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(row_scores, axis=1)
+    best_cols = np.take_along_axis(part, order, axis=1)
+    return ids[best_cols].reshape(nq, k)
+
+
+def precision_at_k(true_ids: np.ndarray, reduced_ids: np.ndarray) -> float:
+    """Mean ``|R_dr ∩ R_d| / |R_d|`` over the query batch."""
+    true_ids = np.atleast_2d(true_ids)
+    reduced_ids = np.atleast_2d(reduced_ids)
+    if true_ids.shape[0] != reduced_ids.shape[0]:
+        raise ValueError(
+            f"{true_ids.shape[0]} true rows vs "
+            f"{reduced_ids.shape[0]} reduced rows"
+        )
+    overlaps = [
+        len(set(t.tolist()) & set(r.tolist())) / max(1, t.size)
+        for t, r in zip(true_ids, reduced_ids)
+    ]
+    return float(np.mean(overlaps))
+
+
+@dataclass(frozen=True)
+class PrecisionReport:
+    """Precision of one reduction against one workload."""
+
+    method: str
+    precision: float
+    n_queries: int
+    k: int
+    mean_reduced_dim: float
+    n_subspaces: int
+    outlier_fraction: float
+
+
+def evaluate_precision(
+    data: np.ndarray,
+    reduced: ReducedDataset,
+    workload: QueryWorkload,
+) -> PrecisionReport:
+    """End-to-end §6.1 measurement for one method on one dataset."""
+    true_ids = exact_knn(data, workload.queries, workload.k)
+    approx_ids = reduced_knn(reduced, workload.queries, workload.k)
+    return PrecisionReport(
+        method=reduced.method,
+        precision=precision_at_k(true_ids, approx_ids),
+        n_queries=workload.n_queries,
+        k=workload.k,
+        mean_reduced_dim=reduced.mean_reduced_dim(),
+        n_subspaces=reduced.n_subspaces,
+        outlier_fraction=(
+            reduced.outliers.size / reduced.n_points
+            if reduced.n_points
+            else 0.0
+        ),
+    )

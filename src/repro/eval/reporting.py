@@ -1,0 +1,68 @@
+"""Plain-text tables for experiment output.
+
+Benchmark harnesses print the same series the paper plots; these helpers
+keep that output aligned and diff-friendly (EXPERIMENTS.md embeds it
+verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    str_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([_format_cell(c) for c in row])
+    widths = [
+        max(len(r[col]) for r in str_rows)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for idx, row in enumerate(str_rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Mapping[str, Sequence[Cell]],
+) -> str:
+    """Render one figure panel: the x sweep plus one column per method."""
+    headers = [x_label, *series.keys()]
+    columns = [x_values, *series.values()]
+    lengths = {len(col) for col in columns}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"series lengths differ: { {h: len(c) for h, c in zip(headers, columns)} }"
+        )
+    rows = list(zip(*columns))
+    return format_table(headers, rows)

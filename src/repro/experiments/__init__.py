@@ -1,0 +1,52 @@
+"""Per-figure experiment definitions (§6 of the paper).
+
+Each module owns one figure's protocol — dataset, sweep, methods — and the
+benchmark harnesses in ``benchmarks/`` call into them and assert the
+paper's claimed shapes.  ``REPRO_BENCH_SCALE=full`` switches from the
+CI-scale defaults to the paper's sizes (see :mod:`.common`).
+"""
+
+from .common import (
+    BenchScale,
+    bench_scale,
+    colorhist_dataset,
+    default_reducers,
+    make_workload,
+    overlapping_cluster_specs,
+    synthetic_small,
+)
+from .fig7 import PrecisionSweep, run_fig7a, run_fig7b
+from .fig8 import FIG8_DIMS, run_fig8a, run_fig8b
+from .fig9 import (
+    FIG9_DIMS,
+    CostSweep,
+    run_cost_sweep_colorhist,
+    run_cost_sweep_synthetic,
+)
+from .fig10 import cpu_series_colorhist, cpu_series_synthetic
+from .fig11 import ScalabilityPoint, run_fig11a, run_fig11b
+
+__all__ = [
+    "BenchScale",
+    "CostSweep",
+    "FIG8_DIMS",
+    "FIG9_DIMS",
+    "PrecisionSweep",
+    "ScalabilityPoint",
+    "bench_scale",
+    "colorhist_dataset",
+    "cpu_series_colorhist",
+    "cpu_series_synthetic",
+    "default_reducers",
+    "make_workload",
+    "overlapping_cluster_specs",
+    "run_cost_sweep_colorhist",
+    "run_cost_sweep_synthetic",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig11a",
+    "run_fig11b",
+    "synthetic_small",
+]

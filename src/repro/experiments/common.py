@@ -1,0 +1,227 @@
+"""Shared machinery for the per-figure experiment modules.
+
+Scale control
+-------------
+The paper's runs use 100 000-1 000 000 points; a CI-friendly suite cannot.
+``REPRO_BENCH_SCALE`` selects the operating point:
+
+* ``ci`` (default) — sizes divided by ~5-20; every claimed *shape* (method
+  ordering, rough factors, crossovers) is preserved, the absolute numbers
+  shrink.
+* ``full`` — the paper's sizes (minutes to hours on a laptop).
+
+Datasets and reductions are memoized per process so that Figure 8, 9 and 10
+benchmarks share one MMDR/LDR fit instead of refitting per panel.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.config import MMDRConfig
+from ..data.colorhist import ColorHistogramSpec, generate_color_histograms
+from ..data.synthetic import (
+    ClusterSpec,
+    SyntheticSpec,
+    generate_correlated_clusters,
+)
+from ..data.workload import QueryWorkload, sample_queries
+from ..reduction.base import ReducedDataset
+from ..reduction.gdr import GDRReducer
+from ..reduction.ldr import LDRReducer
+from ..reduction.mmdr_adapter import MMDRReducer
+
+__all__ = [
+    "BenchScale",
+    "bench_scale",
+    "MASTER_SEED",
+    "N_QUERIES",
+    "K_NEIGHBORS",
+    "synthetic_small",
+    "colorhist_dataset",
+    "make_workload",
+    "reduce_with",
+    "default_reducers",
+]
+
+#: One seed to rule the whole evaluation (per-figure offsets derive from it).
+MASTER_SEED = 20030305
+#: The paper uses 100 queries and 10-NN throughout §6.
+N_QUERIES = 100
+K_NEIGHBORS = 10
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Concrete sizes for one operating point."""
+
+    name: str
+    synthetic_points: int  # paper: 100 000 (small synthetic dataset)
+    colorhist_images: int  # paper: 70 000
+    scal_points_max: int  # paper: 1 000 000 (Figure 11 sweeps up to this)
+    scal_dims_max: int  # paper: 200
+
+
+_SCALES: Dict[str, BenchScale] = {
+    "ci": BenchScale(
+        name="ci",
+        synthetic_points=20_000,
+        colorhist_images=14_000,
+        scal_points_max=50_000,
+        scal_dims_max=100,
+    ),
+    "full": BenchScale(
+        name="full",
+        synthetic_points=100_000,
+        colorhist_images=70_000,
+        scal_points_max=1_000_000,
+        scal_dims_max=200,
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale, from ``REPRO_BENCH_SCALE`` (``ci`` or ``full``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+#: Per-cluster intrinsic dimensionalities of the "small synthetic dataset".
+#: Mixed on purpose ("each subspace has different size, orientation and
+#: ellipticity").
+SYNTHETIC_INTRINSIC_DIMS = (8, 12, 10, 14, 12, 16, 14, 18, 16, 20)
+#: Cluster-size weights ("different size"): unequal sizes are a regime where
+#: Euclidean k-means systematically merges small clusters and splits big
+#: ones — one half of the LDR failure mode of Figure 5.
+SYNTHETIC_SIZE_WEIGHTS = (8, 6, 5, 4, 3.5, 3, 2.5, 2, 1.5, 1.5)
+
+
+def overlapping_cluster_specs(
+    total: int,
+    intrinsic_dims: tuple,
+    size_weights: tuple,
+    rng: np.random.Generator,
+    dimensionality: int = 64,
+    variance_lo: float = 0.15,
+    variance_hi: float = 0.19,
+    variance_e: float = 0.012,
+    jitter: float = 0.01,
+) -> list:
+    """Cluster specs arranged as co-located *pairs* with different
+    orientations — the Figure 1/5 regime where ellipsoids intersect.
+
+    Euclidean clustering sees each pair as one blob and slices it along the
+    wrong boundary; Mahalanobis-based discovery separates (or coherently
+    covers) the pair.  Locations are scattered; within a location the two
+    clusters' centers differ only by ``jitter``.
+    """
+    clustered = total - int(total * 0.005)  # leave room for xi noise points
+    weights = np.asarray(size_weights, dtype=np.float64)
+    sizes = np.maximum(
+        1, (clustered * weights / weights.sum()).astype(int)
+    )
+    sizes[0] += clustered - int(sizes.sum())
+    clusters = []
+    location = None
+    for idx, (size, s_dim) in enumerate(
+        zip(sizes.tolist(), intrinsic_dims)
+    ):
+        if idx % 2 == 0 or location is None:
+            location = rng.normal(0.0, 0.25, size=dimensionality)
+        offset = location + rng.normal(0.0, jitter, size=dimensionality)
+        # variance_r ~ 0.17 gives sigma ~ 0.05 per signal dimension: strong
+        # enough that a thin slice of a cluster fails MaxMPE decisively, so
+        # the recursion cannot accept marginal fragments.
+        clusters.append(
+            ClusterSpec(
+                size=size,
+                s_dim=s_dim,
+                s_r_dim=int(
+                    rng.integers(0, dimensionality - s_dim + 1)
+                ),
+                variance_r=float(rng.uniform(variance_lo, variance_hi)),
+                variance_e=variance_e,
+                lb=0.0,
+                center_offset=tuple(float(v) for v in offset),
+            )
+        )
+    return clusters
+
+
+@lru_cache(maxsize=None)
+def synthetic_small(n_points: int = 0) -> np.ndarray:
+    """The paper's "small synthetic dataset": N x 64-d correlated clusters
+    of different intrinsic dimensionality, size and orientation, arranged
+    as intersecting pairs (see :func:`overlapping_cluster_specs`).
+
+    ``n_points=0`` means "use the active scale".
+    """
+    scale = bench_scale()
+    total = n_points or scale.synthetic_points
+    rng = np.random.default_rng(MASTER_SEED)
+    clusters = overlapping_cluster_specs(
+        total, SYNTHETIC_INTRINSIC_DIMS, SYNTHETIC_SIZE_WEIGHTS, rng
+    )
+    spec = SyntheticSpec(
+        n_points=total,
+        dimensionality=64,
+        n_clusters=len(clusters),
+        noise_fraction=0.005,
+        clusters=tuple(clusters),
+    )
+    return generate_correlated_clusters(spec, rng).points
+
+
+@lru_cache(maxsize=None)
+def colorhist_dataset() -> np.ndarray:
+    """The simulated Corel color-histogram dataset (see DESIGN.md)."""
+    scale = bench_scale()
+    spec = ColorHistogramSpec(n_images=scale.colorhist_images)
+    rng = np.random.default_rng(MASTER_SEED + 1)
+    return generate_color_histograms(spec, rng)
+
+
+def make_workload(
+    data: np.ndarray, seed_offset: int = 0
+) -> QueryWorkload:
+    """The paper's standard workload: 100 data-distributed 10-NN queries."""
+    rng = np.random.default_rng(MASTER_SEED + 1000 + int(seed_offset))
+    return sample_queries(data, N_QUERIES, rng, k=K_NEIGHBORS)
+
+
+def default_reducers() -> Dict[str, object]:
+    """Fresh instances of the three reducers under comparison."""
+    return {
+        "MMDR": MMDRReducer(MMDRConfig()),
+        "LDR": LDRReducer(),
+        "GDR": GDRReducer(),
+    }
+
+
+_REDUCTION_CACHE: Dict[Tuple[int, str, object], ReducedDataset] = {}
+
+
+def reduce_with(
+    method: str, data: np.ndarray, cache_tag: object = None
+) -> ReducedDataset:
+    """Fit (or fetch the memoized) reduction of ``data`` by ``method``.
+
+    ``cache_tag`` distinguishes datasets that share an ``id`` lifetime (e.g.
+    parameter sweeps that rebuild arrays); passing the sweep parameters is
+    enough.
+    """
+    key = (id(data), method, cache_tag)
+    if key not in _REDUCTION_CACHE:
+        reducer = default_reducers()[method]
+        rng = np.random.default_rng(MASTER_SEED + 7)
+        _REDUCTION_CACHE[key] = reducer.reduce(data, rng)
+    return _REDUCTION_CACHE[key]

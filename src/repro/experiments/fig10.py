@@ -1,0 +1,48 @@
+"""Figure 10 — CPU cost of the indexing schemes.
+
+The measurement is shared with Figure 9 (one sweep yields both); this module
+just exposes the CPU views.  Two readings are reported:
+
+* ``mean_cpu_seconds`` — wall-clock time of the search code (the paper's
+  metric; host-dependent);
+* ``mean_cpu_work`` — the deterministic proxy: dimension-weighted distance
+  computations plus 1-d key comparisons.  This is what the bench assertions
+  check, because it is exactly the structural quantity the paper argues
+  about (gLDR pays d-dimensional L-norms in its internal nodes, iDistance
+  pays single-dimensional comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .fig9 import (
+    FIG9_DIMS,
+    CostSweep,
+    run_cost_sweep_colorhist,
+    run_cost_sweep_synthetic,
+)
+
+__all__ = ["cpu_series_synthetic", "cpu_series_colorhist", "FIG9_DIMS"]
+
+
+def cpu_series_synthetic(
+    dims: Sequence[int] = FIG9_DIMS,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 10a: {'seconds': per-scheme series, 'work': per-scheme series}."""
+    sweep: CostSweep = run_cost_sweep_synthetic(tuple(dims))
+    return {
+        "seconds": sweep.series("mean_cpu_seconds"),
+        "work": sweep.series("mean_cpu_work"),
+    }
+
+
+def cpu_series_colorhist(
+    dims: Sequence[int] = FIG9_DIMS,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 10b: same views on the color-histogram dataset."""
+    sweep: CostSweep = run_cost_sweep_colorhist(tuple(dims))
+    return {
+        "seconds": sweep.series("mean_cpu_seconds"),
+        "work": sweep.series("mean_cpu_work"),
+    }

@@ -1,0 +1,29 @@
+"""KNN indexes over reduced datasets (the schemes of Figures 9/10).
+
+* :class:`ExtendedIDistance` — the paper's contribution: one B+-tree over
+  all subspaces (iMMDR / iLDR depending on which reducer produced the data).
+* :class:`GlobalLDRIndex` — the gLDR baseline: one Hybrid tree per cluster.
+* :class:`SequentialScan` — the no-index floor/ceiling.
+
+All three score identically (reduced-space L2, full L2 for outliers) and
+return exact KNN under that scoring, so any cost difference between them is
+purely structural.
+"""
+
+from .base import KNNResult, QueryStats, VectorIndex
+from .global_ldr import GlobalLDRIndex
+from .hybrid_tree import HybridTree, hybrid_internal_fanout, hybrid_leaf_capacity
+from .idistance import ExtendedIDistance
+from .seqscan import SequentialScan
+
+__all__ = [
+    "ExtendedIDistance",
+    "GlobalLDRIndex",
+    "HybridTree",
+    "KNNResult",
+    "QueryStats",
+    "SequentialScan",
+    "VectorIndex",
+    "hybrid_internal_fanout",
+    "hybrid_leaf_capacity",
+]

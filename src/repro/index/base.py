@@ -1,0 +1,121 @@
+"""Common index API and per-query statistics.
+
+Figures 9 and 10 compare three indexing schemes (iMMDR, iLDR, gLDR) plus a
+sequential scan, reporting page accesses and CPU time per KNN query.  Every
+index here is built from a :class:`~repro.reduction.base.ReducedDataset`,
+owns a simulated page store + buffer pool, and answers
+:meth:`VectorIndex.knn` with both the neighbor ids and a
+:class:`QueryStats` diff of its cost counters around the search.
+
+Distances: the search metric is L2 (the paper uses L2 for searching;
+Mahalanobis is only for *discovering* the ellipsoids).  Distances within a
+subspace are computed between reduced representations in that subspace's
+axis system; outliers use full-dimensional L2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..storage.buffer import BufferPool
+from ..storage.metrics import CostCounters, CostSnapshot
+from ..storage.pager import PageStore
+
+__all__ = ["QueryStats", "KNNResult", "VectorIndex"]
+
+#: Default buffer pool size (pages).  512 pages = 2 MiB: large enough that a
+#: single query's working set fits, small enough that one query cannot cache
+#: a whole dataset for the next.
+DEFAULT_POOL_PAGES = 512
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Cost of one query (a diff of two counter snapshots)."""
+
+    page_reads: int
+    distance_computations: int
+    distance_flops: int
+    key_comparisons: int
+    cpu_seconds: float
+
+    @staticmethod
+    def from_snapshots(
+        before: CostSnapshot, after: CostSnapshot
+    ) -> "QueryStats":
+        diff = after - before
+        return QueryStats(
+            page_reads=diff.total_page_reads,
+            distance_computations=diff.distance_computations,
+            distance_flops=diff.distance_flops,
+            key_comparisons=diff.key_comparisons,
+            cpu_seconds=diff.cpu_seconds,
+        )
+
+    @property
+    def cpu_work(self) -> int:
+        """Deterministic CPU proxy: dimension-weighted distance work plus
+        1-d key comparisons (each counts one unit)."""
+        return self.distance_flops + self.key_comparisons
+
+
+@dataclass(frozen=True)
+class KNNResult:
+    """Neighbor ids (nearest first), their scores, and the query's cost.
+
+    ``distances`` are the index's search scores: within-subspace reduced L2
+    (which lower-bounds the true distance) or exact L2 for outliers.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.distances.shape:
+            raise ValueError(
+                f"ids shape {self.ids.shape} != distances "
+                f"shape {self.distances.shape}"
+            )
+
+    @property
+    def k(self) -> int:
+        return self.ids.size
+
+
+class VectorIndex(ABC):
+    """A KNN index over a reduced dataset, with its own simulated storage."""
+
+    #: Scheme name used in experiment tables ("iDistance", "gLDR", "SeqScan").
+    name: str = "index"
+
+    def __init__(self, pool_pages: int = DEFAULT_POOL_PAGES) -> None:
+        self.counters = CostCounters()
+        self.store = PageStore(self.counters)
+        self.pool = BufferPool(self.store, pool_pages, self.counters)
+
+    @abstractmethod
+    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+        """The K nearest neighbors of ``query`` under the index's scoring."""
+        raise NotImplementedError
+
+    def reset_cache(self) -> None:
+        """Drop the buffer pool contents (cold-cache measurement)."""
+        self.pool.clear()
+
+    @property
+    def size_pages(self) -> int:
+        """Total pages the index occupies."""
+        return self.store.allocated_pages
+
+    def _measured(self, fn, *args, **kwargs):
+        """Run ``fn`` under the CPU timer and return (result, QueryStats)."""
+        before = self.counters.snapshot()
+        with self.counters.cpu_timer():
+            result = fn(*args, **kwargs)
+        stats = QueryStats.from_snapshots(before, self.counters.snapshot())
+        return result, stats

@@ -1,0 +1,121 @@
+"""gLDR: the Global Index of the LDR paper — one Hybrid tree per cluster.
+
+This is the third indexing scheme of Figures 9/10: reduced clusters each get
+their own multi-dimensional index (a Hybrid tree), and an in-memory array
+keeps each cluster's reference frame so a query can be projected per
+cluster.  KNN search runs a single best-first queue *across* all trees,
+seeded with each root's MINDIST, so the global K-th-best distance prunes
+every tree simultaneously; outliers (stored at full dimensionality) are
+scanned sequentially, exactly as the reduced clusters' leftovers are
+handled in the LDR paper.
+
+Scoring matches the extended iDistance: within-cluster reduced L2 (a lower
+bound of the true distance), full L2 for outliers — so precision
+comparisons between the schemes are apples to apples and the cost
+difference is purely structural.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Tuple
+
+import numpy as np
+
+from ..reduction.base import ReducedDataset
+from ..storage.pager import pages_for_vectors
+from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
+from .hybrid_tree import HybridTree
+
+__all__ = ["GlobalLDRIndex"]
+
+
+class GlobalLDRIndex(VectorIndex):
+    """One Hybrid tree per reduced cluster + sequential outlier scan."""
+
+    name = "gLDR"
+
+    def __init__(
+        self,
+        reduced: ReducedDataset,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+    ) -> None:
+        super().__init__(pool_pages=pool_pages)
+        self.reduced = reduced
+        self.trees: List[HybridTree] = []
+        for subspace in reduced.subspaces:
+            self.trees.append(
+                HybridTree(
+                    self.store,
+                    self.pool,
+                    subspace.projections,
+                    subspace.member_ids,
+                )
+            )
+        self.outlier_pages = pages_for_vectors(
+            reduced.outliers.size, reduced.dimensionality
+        )
+        for _ in range(self.outlier_pages):
+            self.store.allocate(("gldr-outliers",), 0)
+
+    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+        query = np.asarray(query, dtype=np.float64)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        (ids, distances), stats = self._measured(self._search, query, k)
+        return KNNResult(ids=ids, distances=distances, stats=stats)
+
+    def _search(
+        self, query: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k = min(k, self.reduced.n_points)
+        results: List[Tuple[float, int]] = []  # max-heap via negation
+
+        def offer(dist: float, rid: int) -> None:
+            if len(results) < k:
+                heapq.heappush(results, (-dist, rid))
+            elif dist < -results[0][0]:
+                heapq.heapreplace(results, (-dist, rid))
+
+        # Outliers first: their exact distances tighten the global bound
+        # before any tree is descended.
+        outliers = self.reduced.outliers
+        if outliers.size:
+            self.counters.count_sequential_read(self.outlier_pages)
+            dists = np.linalg.norm(outliers.points - query, axis=1)
+            self.counters.count_distance(
+                outliers.size, dims=self.reduced.dimensionality
+            )
+            for dist, rid in zip(dists, outliers.member_ids):
+                offer(float(dist), int(rid))
+
+        # One global frontier across every cluster's tree.
+        q_proj = [
+            self.reduced.subspaces[i].project(query)
+            for i in range(len(self.trees))
+        ]
+        frontier: List[Tuple[float, int, int]] = []
+        for tree_idx, tree in enumerate(self.trees):
+            heapq.heappush(
+                frontier,
+                (tree.root_mindist(q_proj[tree_idx]), tree_idx, tree.root_page),
+            )
+
+        while frontier:
+            mindist, tree_idx, page = heapq.heappop(frontier)
+            if len(results) == k and mindist > -results[0][0]:
+                break
+
+            def push(child_mindist: float, child_page: int) -> None:
+                heapq.heappush(
+                    frontier, (child_mindist, tree_idx, child_page)
+                )
+
+            self.trees[tree_idx].expand(
+                page, q_proj[tree_idx], push, offer
+            )
+
+        ordered = sorted((-d, rid) for d, rid in results)
+        distances = np.array([d for d, _ in ordered])
+        ids = np.array([rid for _, rid in ordered], dtype=np.int64)
+        return ids, distances

@@ -1,0 +1,499 @@
+"""Extended iDistance (§5): one B+-tree over every reduced subspace.
+
+Every partition — each elliptical subspace, plus the outlier set treated as
+"a subspace in its original dimensionality" — maps its points to one
+dimension with
+
+    key = i * c + dist(P, O_i)
+
+where ``O_i`` is the partition's reference point (the cluster centroid;
+the origin of the subspace's axis system for projections) and ``c`` a
+stretching constant that range-partitions the key space so partition ``i``
+occupies ``[i*c, (i+1)*c)``.  All keys live in a single B+-tree; an
+auxiliary array per partition keeps the centroid, principal components and
+min/max radius for searching, and covariances for dynamic insertion.
+
+KNN search grows a query sphere iteratively.  For radius ``R`` and the
+query's projection ``q_i`` (at distance ``d_i = ||q_i - O_i||`` from the
+reference), the annulus geometry gives the paper's three cases:
+
+1. ``d_i <= max_radius`` — the query sits inside the partition's data
+   sphere: scan the tree outward in both directions from key
+   ``i*c + d_i``.
+2. ``d_i > max_radius`` but ``d_i - R <= max_radius`` — the sphere
+   intersects from outside: scan inward (leftward) from the partition's
+   rim ``i*c + max_radius``.
+3. no intersection — skip the partition at this radius.
+
+(The symmetric interior case ``d_i < min_radius`` scans outward from the
+inner rim; the paper's figure omits it but correctness requires it.)
+
+The scan prunes with the triangle inequality: an entry with key offset
+``o`` has reduced distance at least ``|d_i - o|``, so a direction stops
+once ``|d_i - o|`` exceeds the current search bound.  Search terminates
+when the K-th best distance is within the searched radius ``R`` — at that
+point no unexamined point can score better, because every key interval
+within ``R`` of every ``d_i`` has been consumed.  The result is therefore
+the *exact* KNN under the reduced-space scoring (the lossiness relative to
+the original space is entirely the reduction's, which is what precision
+measures).
+
+I/O model: the B+-tree stores (key, rid) entries; the reduced vectors are
+packed, in key order, into per-partition data pages read through the buffer
+pool when a candidate is scored.  Key order means an expanding scan touches
+a contiguous run of data pages — the same locality as storing vectors in
+the leaves, with the accounting kept explicit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.subspace import EllipticalSubspace, OutlierSet
+from ..reduction.base import ReducedDataset
+from ..btree.tree import BPlusTree
+from ..storage.pager import PAGE_SIZE, vector_bytes
+from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
+
+__all__ = ["ExtendedIDistance"]
+
+
+@dataclass
+class _Partition:
+    """Search-time state for one subspace (or the outlier set)."""
+
+    index: int
+    subspace: Optional[EllipticalSubspace]  # None for the outlier partition
+    centroid: np.ndarray  # reference point in the partition's own frame
+    vectors: np.ndarray  # (m, width) sorted by key offset
+    rids: np.ndarray  # (m,) global point ids, same order
+    offsets: np.ndarray  # (m,) = dist(P, O_i), ascending
+    page_of_entry: np.ndarray  # (m,) data page id per entry
+    min_radius: float
+    max_radius: float
+
+    def __post_init__(self) -> None:
+        # Dynamically inserted entries live in a main+delta layout: the
+        # bulk-loaded arrays stay immutable, inserts append here and the
+        # search scores the (small) delta on first contact.
+        self.delta_vectors: List[np.ndarray] = []
+        self.delta_rids: List[int] = []
+        self.delta_pages: List[int] = []
+
+    @property
+    def size(self) -> int:
+        return self.rids.size + len(self.delta_rids)
+
+    def project_query(self, query: np.ndarray) -> np.ndarray:
+        if self.subspace is not None:
+            return self.subspace.project(query)
+        return np.asarray(query, dtype=np.float64)
+
+
+class _DirectionalScan:
+    """One direction of a partition's expanding scan (entry positions in
+    the partition's sorted arrays, advancing by +1 or -1)."""
+
+    def __init__(self, position: int, step: int) -> None:
+        self.position = position
+        self.step = step
+        self.done = False
+
+
+class ExtendedIDistance(VectorIndex):
+    """The paper's extended iDistance over a :class:`ReducedDataset`."""
+
+    name = "iDistance"
+
+    def __init__(
+        self,
+        reduced: ReducedDataset,
+        radius_step: Optional[float] = None,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+    ) -> None:
+        super().__init__(pool_pages=pool_pages)
+        self.reduced = reduced
+        self.partitions: List[_Partition] = []
+        self._build_partitions()
+        radii = [p.max_radius for p in self.partitions] or [1.0]
+        global_max = max(radii)
+        #: Key-space stretch constant: strictly larger than any offset.
+        self.c = global_max * 1.01 + 1e-9
+        #: Radius increment per search iteration (ΔR).  Default: 5% of the
+        #: largest partition radius — small enough to stop early, large
+        #: enough to converge in a few iterations.
+        self.radius_step = (
+            radius_step if radius_step is not None else global_max * 0.05
+        )
+        if self.radius_step <= 0:
+            self.radius_step = 1e-6
+        self._rid_location = self._build_rid_map()
+        self.tree = BPlusTree(self.store, self.pool)
+        self._bulk_load_tree()
+        # Entry rank -> leaf page, for charging tree I/O during scans: the
+        # bulk load packs `fill` entries per leaf in key order, and key
+        # order equals concatenated partition order.
+        self._leaf_fill = max(2, int(self.tree.leaf_capacity * 0.9))
+        self._leaf_pages = np.asarray(
+            self.tree.leaf_page_ids(), dtype=np.int64
+        )
+        sizes = [p.size for p in self.partitions]
+        self._rank_base = np.concatenate(
+            [[0], np.cumsum(sizes)]
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _build_partitions(self) -> None:
+        for subspace in self.reduced.subspaces:
+            vectors = subspace.projections
+            offsets = np.linalg.norm(vectors, axis=1)
+            self._add_partition(
+                subspace=subspace,
+                centroid=np.zeros(subspace.reduced_dim),
+                vectors=vectors,
+                rids=subspace.member_ids,
+                offsets=offsets,
+            )
+        outliers = self.reduced.outliers
+        if outliers.size:
+            offsets = np.linalg.norm(
+                outliers.points - outliers.centroid, axis=1
+            )
+            self._add_partition(
+                subspace=None,
+                centroid=outliers.centroid,
+                vectors=outliers.points,
+                rids=outliers.member_ids,
+                offsets=offsets,
+            )
+
+    def _add_partition(
+        self,
+        subspace: Optional[EllipticalSubspace],
+        centroid: np.ndarray,
+        vectors: np.ndarray,
+        rids: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        order = np.argsort(offsets, kind="stable")
+        vectors = np.ascontiguousarray(vectors[order])
+        rids = rids[order]
+        offsets = offsets[order]
+        width = vectors.shape[1]
+        per_page = max(1, PAGE_SIZE // max(1, vector_bytes(width)))
+        page_of_entry = np.empty(rids.size, dtype=np.int64)
+        for lo in range(0, rids.size, per_page):
+            hi = min(lo + per_page, rids.size)
+            page_id = self.store.allocate(
+                ("idistance-data", len(self.partitions), lo, hi),
+                vector_bytes(width) * (hi - lo),
+            )
+            page_of_entry[lo:hi] = page_id
+        self.partitions.append(
+            _Partition(
+                index=len(self.partitions),
+                subspace=subspace,
+                centroid=centroid,
+                vectors=vectors,
+                rids=rids,
+                offsets=offsets,
+                page_of_entry=page_of_entry,
+                min_radius=float(offsets[0]) if offsets.size else 0.0,
+                max_radius=float(offsets[-1]) if offsets.size else 0.0,
+            )
+        )
+
+    def _build_rid_map(self) -> np.ndarray:
+        location = np.full((self.reduced.n_points, 2), -1, dtype=np.int64)
+        for partition in self.partitions:
+            location[partition.rids, 0] = partition.index
+            location[partition.rids, 1] = np.arange(partition.size)
+        return location
+
+    def _bulk_load_tree(self) -> None:
+        keys: List[float] = []
+        rids: List[int] = []
+        for partition in self.partitions:
+            base = partition.index * self.c
+            keys.extend((base + partition.offsets).tolist())
+            rids.extend(partition.rids.tolist())
+        self.tree.bulk_load(keys, rids)
+
+    # ------------------------------------------------------------------
+    # dynamic insertion (the §5 auxiliary arrays exist for this)
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: np.ndarray, rid: int, beta: float = 0.1
+    ) -> int:
+        """Insert a new point, routing it like the paper's dynamic insert:
+        the subspace with the smallest ProjDist_r hosts the point if that
+        distance is within β, otherwise it joins the outlier partition.
+
+        The point's key goes into the shared B+-tree; its vector joins the
+        partition's delta store (a main+delta layout: bulk-loaded arrays
+        stay immutable, deltas are scored on first contact by a query).
+        Returns the partition index used.
+
+        Raises ``ValueError`` if the point's key offset would not fit the
+        partition's key range (the stretch constant ``c`` is fixed at
+        build time) or if no outlier partition exists to absorb a
+        non-conforming point.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        best: Optional[_Partition] = None
+        best_dist = np.inf
+        for partition in self.partitions:
+            if partition.subspace is None:
+                continue
+            dist = float(partition.subspace.proj_dist_r(point)[0])
+            if dist < best_dist:
+                best, best_dist = partition, dist
+        if best is None or best_dist > beta:
+            outliers = [
+                p for p in self.partitions if p.subspace is None
+            ]
+            if not outliers:
+                raise ValueError(
+                    "point fits no subspace within beta and the index was "
+                    "built without an outlier partition"
+                )
+            best = outliers[0]
+
+        vector = best.project_query(point)
+        offset = float(np.linalg.norm(vector - best.centroid))
+        # Keys must stay inside the partition's [i*c, (i+1)*c) range — except
+        # in the *last* partition (the outlier set, when present), above
+        # whose range no other partition lives.
+        if offset >= self.c and best.index != len(self.partitions) - 1:
+            raise ValueError(
+                f"key offset {offset:.4f} exceeds the partition stretch "
+                f"constant c={self.c:.4f}; rebuild the index to extend "
+                "its key space"
+            )
+        self.tree.insert(best.index * self.c + offset, int(rid))
+        best.delta_vectors.append(vector)
+        best.delta_rids.append(int(rid))
+        best.max_radius = max(best.max_radius, offset)
+        best.min_radius = min(best.min_radius, offset)
+        # Delta vectors pack into pages of their own (charged on scan).
+        per_page = max(
+            1, PAGE_SIZE // max(1, vector_bytes(vector.shape[0]))
+        )
+        if len(best.delta_rids) > len(best.delta_pages) * per_page:
+            best.delta_pages.append(
+                self.store.allocate(
+                    ("idistance-delta", best.index,
+                     len(best.delta_pages)),
+                    0,
+                )
+            )
+        self.n_inserted = getattr(self, "n_inserted", 0) + 1
+        return best.index
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+        query = np.asarray(query, dtype=np.float64)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        (ids, distances), stats = self._measured(self._knn_search, query, k)
+        return KNNResult(ids=ids, distances=distances, stats=stats)
+
+    def _knn_search(
+        self, query: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        k = min(
+            k, self.reduced.n_points + getattr(self, "n_inserted", 0)
+        )
+        # Per-partition query geometry.
+        q_proj: List[np.ndarray] = []
+        q_dist: List[float] = []
+        for partition in self.partitions:
+            proj = partition.project_query(query)
+            q_proj.append(proj)
+            q_dist.append(float(np.linalg.norm(proj - partition.centroid)))
+
+        heap: List[Tuple[float, int]] = []  # max-heap via negated distance
+
+        def kth_best() -> float:
+            return -heap[0][0] if len(heap) == k else np.inf
+
+        def offer(dist: float, rid: int) -> None:
+            if len(heap) < k:
+                heapq.heappush(heap, (-dist, rid))
+            elif dist < -heap[0][0]:
+                heapq.heapreplace(heap, (-dist, rid))
+
+        scans: List[Optional[Tuple[_DirectionalScan, _DirectionalScan]]] = [
+            None
+        ] * len(self.partitions)
+        max_needed = max(
+            (
+                q_dist[p.index] + p.max_radius
+                for p in self.partitions
+                if p.size
+            ),
+            default=0.0,
+        )
+
+        radius = self.radius_step
+        while True:
+            for partition in self.partitions:
+                if partition.size == 0:
+                    continue
+                self._scan_partition(
+                    partition,
+                    q_proj[partition.index],
+                    q_dist[partition.index],
+                    radius,
+                    scans,
+                    offer,
+                    kth_best,
+                )
+            if len(heap) == k and kth_best() <= radius:
+                break
+            if radius > max_needed:
+                break
+            radius += self.radius_step
+
+        ordered = sorted((-d, rid) for d, rid in heap)
+        distances = np.array([d for d, _ in ordered])
+        ids = np.array([rid for _, rid in ordered], dtype=np.int64)
+        return ids, distances
+
+    def _scan_partition(
+        self,
+        partition: _Partition,
+        q_proj: np.ndarray,
+        d_i: float,
+        radius: float,
+        scans: List[Optional[Tuple[_DirectionalScan, _DirectionalScan]]],
+        offer,
+        kth_best,
+    ) -> None:
+        """Advance the partition's two directional scans to cover the key
+        interval ``[d_i - radius, d_i + radius]``."""
+        idx = partition.index
+        if scans[idx] is None:
+            # Case 3: no intersection yet — the sphere has not reached the
+            # partition's annulus.  Do not open cursors.
+            if d_i - radius > partition.max_radius:
+                return
+            if d_i + radius < partition.min_radius:
+                return
+            # First contact: position both directions at the entry nearest
+            # the query's own offset (clamped into the annulus, which also
+            # realizes cases 1, 2 and the interior case).  The tree descent
+            # to that leaf is real I/O: internal pages + the landing leaf.
+            seek = min(max(d_i, partition.min_radius), partition.max_radius)
+            self.tree._descend(idx * self.c + seek)
+            pos = int(np.searchsorted(partition.offsets, seek))
+            scans[idx] = (
+                _DirectionalScan(pos - 1, -1),  # inward/leftward
+                _DirectionalScan(pos, +1),  # outward/rightward
+            )
+            # Dynamically inserted entries (the delta store) are few; score
+            # them all on first contact, charging their pages.
+            if partition.delta_rids:
+                for page in partition.delta_pages:
+                    self.pool.read(page)
+                block = np.vstack(partition.delta_vectors)
+                dists = np.linalg.norm(block - q_proj, axis=1)
+                self.counters.count_distance(
+                    block.shape[0], dims=max(1, block.shape[1])
+                )
+                for dist, rid in zip(dists, partition.delta_rids):
+                    offer(float(dist), int(rid))
+        inward, outward = scans[idx]
+        bound = min(radius, kth_best())
+        self._advance(partition, q_proj, d_i, bound, inward, offer, kth_best)
+        self._advance(partition, q_proj, d_i, bound, outward, offer, kth_best)
+
+    def _advance(
+        self,
+        partition: _Partition,
+        q_proj: np.ndarray,
+        d_i: float,
+        bound: float,
+        scan: _DirectionalScan,
+        offer,
+        kth_best,
+    ) -> None:
+        """Consume, in one vectorized block, every not-yet-visited entry in
+        this direction whose key offset is within ``bound`` of ``d_i``.
+
+        The offsets are sorted, so the block boundary is a binary search
+        (one key comparison charged per entry, as a literal scan would do);
+        the block's leaf pages and data pages are read through the buffer
+        pool, and its vectors are scored in a single numpy call.
+        """
+        if scan.done:
+            return
+        offsets = partition.offsets
+        if scan.step > 0:
+            lo = scan.position
+            if lo >= offsets.size:
+                scan.done = True
+                return
+            hi = int(np.searchsorted(offsets, d_i + bound, side="right"))
+            if hi <= lo:
+                return  # resumes if the bound grows next iteration
+            positions = np.arange(lo, hi)
+            scan.position = hi
+            if hi >= offsets.size:
+                scan.done = True
+        else:
+            hi = scan.position  # inclusive
+            if hi < 0:
+                scan.done = True
+                return
+            lo = int(np.searchsorted(offsets, d_i - bound, side="left"))
+            if lo > hi:
+                return
+            positions = np.arange(lo, hi + 1)
+            scan.position = lo - 1
+            if lo == 0:
+                scan.done = True
+
+        # I/O: the B+-tree leaf pages covering these entries, then the data
+        # pages holding their reduced vectors.  Both are contiguous runs
+        # (entries are rank-ordered; partition data pages were allocated
+        # consecutively), so the distinct pages are just the endpoints'
+        # range.  The LRU pool dedups pages revisited across blocks.
+        rank_lo = int(self._rank_base[partition.index]) + int(positions[0])
+        rank_hi = int(self._rank_base[partition.index]) + int(positions[-1])
+        for leaf_idx in range(
+            rank_lo // self._leaf_fill, rank_hi // self._leaf_fill + 1
+        ):
+            self.pool.read(int(self._leaf_pages[leaf_idx]))
+        for page in range(
+            int(partition.page_of_entry[positions[0]]),
+            int(partition.page_of_entry[positions[-1]]) + 1,
+        ):
+            self.pool.read(page)
+
+        self.counters.count_key_comparison(positions.size)
+        block = partition.vectors[positions]
+        dists = np.linalg.norm(block - q_proj, axis=1)
+        self.counters.count_distance(
+            positions.size, dims=max(1, block.shape[1])
+        )
+        rids = partition.rids[positions]
+        # Pre-filter: a candidate at or beyond the current K-th best can
+        # never enter the heap (the bound only tightens).
+        current = kth_best()
+        if np.isfinite(current):
+            keep = dists < current
+            dists, rids = dists[keep], rids[keep]
+        for dist, rid in zip(dists, rids):
+            offer(float(dist), int(rid))

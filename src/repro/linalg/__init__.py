@@ -1,0 +1,27 @@
+"""Linear-algebra substrate: PCA, Mahalanobis distances, random rotations.
+
+Everything is implemented from scratch on numpy primitives — the paper's
+Definitions 3.2–3.5 map one-to-one onto this subpackage:
+
+* :func:`fit_pca` / :func:`project` / :func:`residual_norms` — Definition 3.3
+  (multi-level projections) and the ``ProjDist_r`` half of Definition 3.4.
+* :class:`ClusterShape` — Definition 3.2 (MahaDist and normalized MahaDist).
+* :func:`random_orthonormal` — the Appendix-A rotation step.
+"""
+
+from .mahalanobis import ClusterShape, Normalization, estimate_covariance
+from .pca import PCAModel, fit_pca, project, reconstruct, residual_norms
+from .rotation import is_orthonormal, random_orthonormal
+
+__all__ = [
+    "ClusterShape",
+    "Normalization",
+    "PCAModel",
+    "estimate_covariance",
+    "fit_pca",
+    "is_orthonormal",
+    "project",
+    "random_orthonormal",
+    "reconstruct",
+    "residual_norms",
+]

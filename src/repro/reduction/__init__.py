@@ -1,0 +1,22 @@
+"""Dimensionality-reduction methods under one interface.
+
+* :class:`GDRReducer` — Global Dimensionality Reduction (one global PCA).
+* :class:`LDRReducer` — Local Dimensionality Reduction (Euclidean clusters +
+  per-cluster PCA; Chakrabarti & Mehrotra, VLDB 2000).
+* :class:`MMDRReducer` — the paper's contribution, adapted from
+  :class:`repro.core.MMDR` / :class:`repro.core.ScalableMMDR`.
+"""
+
+from .base import ReducedDataset, Reducer
+from .gdr import GDRReducer
+from .ldr import LDRReducer
+from .mmdr_adapter import MMDRReducer, model_to_reduced
+
+__all__ = [
+    "GDRReducer",
+    "LDRReducer",
+    "MMDRReducer",
+    "ReducedDataset",
+    "Reducer",
+    "model_to_reduced",
+]

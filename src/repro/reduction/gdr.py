@@ -1,0 +1,94 @@
+"""Global Dimensionality Reduction (GDR) baseline.
+
+GDR (Chakrabarti & Mehrotra's first strategy, §2) reduces the *whole*
+dataset with one global PCA: a single subspace, one axis system, no
+outliers.  It is optimal when the data is globally correlated and collapses
+when it is not — the paper's Figure 7 shows it stuck at ~15% precision on
+multi-cluster synthetic data precisely because a single plane cannot follow
+several differently-oriented cluster subspaces.
+
+Without an explicit ``target_dim``, GDR keeps the smallest number of
+components whose explained variance reaches ``variance_target``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.geometry import projection_distances
+from ..core.subspace import EllipticalSubspace, OutlierSet
+from ..linalg.mahalanobis import estimate_covariance
+from ..linalg.pca import fit_pca
+from .base import ReducedDataset, Reducer
+
+__all__ = ["GDRReducer"]
+
+
+class GDRReducer(Reducer):
+    """One global PCA subspace for the entire dataset."""
+
+    name = "GDR"
+
+    def __init__(self, variance_target: float = 0.9, max_dim: int = 20) -> None:
+        if not 0.0 < variance_target <= 1.0:
+            raise ValueError(
+                f"variance_target must be in (0, 1], got {variance_target}"
+            )
+        if max_dim < 1:
+            raise ValueError(f"max_dim must be >= 1, got {max_dim}")
+        self.variance_target = variance_target
+        self.max_dim = max_dim
+
+    def reduce(
+        self,
+        data: np.ndarray,
+        rng: np.random.Generator,
+        target_dim: Optional[int] = None,
+    ) -> ReducedDataset:
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        if n == 0:
+            raise ValueError("cannot reduce an empty dataset")
+        del rng  # GDR is deterministic
+
+        pca = fit_pca(data)
+        if target_dim is not None:
+            if target_dim < 1:
+                raise ValueError(f"target_dim must be >= 1, got {target_dim}")
+            d_r = min(target_dim, d)
+        else:
+            d_r = self._pick_dim(pca.explained_variance_ratio(), d)
+
+        dists = projection_distances(data, pca, d_r)
+        mean = pca.mean
+        basis = pca.basis(d_r)
+        subspace = EllipticalSubspace(
+            subspace_id=0,
+            mean=mean,
+            basis=basis,
+            covariance=estimate_covariance(data),
+            member_ids=np.arange(n, dtype=np.int64),
+            projections=(data - mean) @ basis,
+            discovered_at_dim=d,
+            mpe=dists.mpe,
+            ellipticity=dists.ellipticity,
+        )
+        return ReducedDataset(
+            method=self.name,
+            subspaces=[subspace],
+            outliers=OutlierSet(
+                member_ids=np.zeros(0, dtype=np.int64),
+                points=np.zeros((0, d)),
+            ),
+            n_points=n,
+            dimensionality=d,
+            info={"global_mpe": dists.mpe},
+        )
+
+    def _pick_dim(self, variance_ratio: np.ndarray, d: int) -> int:
+        cumulative = np.cumsum(variance_ratio)
+        enough = np.flatnonzero(cumulative >= self.variance_target)
+        d_r = int(enough[0]) + 1 if enough.size else d
+        return max(1, min(d_r, self.max_dim, d))

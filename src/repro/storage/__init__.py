@@ -1,0 +1,39 @@
+"""Simulated paged storage: page store, LRU buffer pool, cost accounting.
+
+This subpackage is the substrate under every index in the reproduction.  The
+paper measured disk page accesses and CPU seconds on a 2003 workstation; we
+replace the disk with an in-memory :class:`PageStore` plus an LRU
+:class:`BufferPool` that charge deterministic, machine-independent I/O
+counts, and we time CPU work with :class:`CostCounters`.
+"""
+
+from .buffer import BufferPool
+from .metrics import CostCounters, CostSnapshot
+from .pager import (
+    FLOAT_SIZE,
+    KEY_SIZE,
+    PAGE_SIZE,
+    POINTER_SIZE,
+    RID_SIZE,
+    Page,
+    PageOverflowError,
+    PageStore,
+    pages_for_vectors,
+    vector_bytes,
+)
+
+__all__ = [
+    "BufferPool",
+    "CostCounters",
+    "CostSnapshot",
+    "FLOAT_SIZE",
+    "KEY_SIZE",
+    "PAGE_SIZE",
+    "POINTER_SIZE",
+    "RID_SIZE",
+    "Page",
+    "PageOverflowError",
+    "PageStore",
+    "pages_for_vectors",
+    "vector_bytes",
+]

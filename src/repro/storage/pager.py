@@ -1,0 +1,152 @@
+"""Simulated paged storage.
+
+The 2003 testbed measured real disk pages; this reproduction replaces the
+disk with an in-memory page store that charges the same accounting.  A
+:class:`PageStore` hands out fixed-size pages identified by integer ids; a
+page carries an arbitrary Python payload (a B+-tree node, a Hybrid-tree node,
+a run of data vectors) plus a declared byte size, and the store refuses
+payloads that exceed the page capacity.  Reads normally go through a
+:class:`~repro.storage.buffer.BufferPool`, which is where physical-read
+accounting happens.
+
+Byte-size constants mirror the layout assumed in DESIGN.md §5: 4 KiB pages,
+float32 vector components, 8-byte keys and pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .metrics import CostCounters
+
+__all__ = [
+    "PAGE_SIZE",
+    "FLOAT_SIZE",
+    "KEY_SIZE",
+    "POINTER_SIZE",
+    "RID_SIZE",
+    "Page",
+    "PageStore",
+    "PageOverflowError",
+    "vector_bytes",
+    "pages_for_vectors",
+]
+
+#: Simulated page size in bytes (a common DBMS default, used by the paper's
+#: era of systems).
+PAGE_SIZE = 4096
+#: Bytes per stored vector component (float32).
+FLOAT_SIZE = 4
+#: Bytes per B+-tree key (float64 distance value).
+KEY_SIZE = 8
+#: Bytes per child-page pointer.
+POINTER_SIZE = 8
+#: Bytes per record identifier stored alongside a leaf key.
+RID_SIZE = 8
+
+
+class PageOverflowError(ValueError):
+    """Raised when a payload is declared larger than the page capacity."""
+
+
+def vector_bytes(dimensionality: int) -> int:
+    """Bytes needed to store one ``dimensionality``-dimensional vector."""
+    if dimensionality < 0:
+        raise ValueError(f"dimensionality must be >= 0, got {dimensionality}")
+    return dimensionality * FLOAT_SIZE
+
+
+def pages_for_vectors(count: int, dimensionality: int) -> int:
+    """Pages needed to store ``count`` packed vectors of the given width.
+
+    Vectors are packed without splitting across page boundaries, matching how
+    the sequential-scan baseline and index leaves charge their I/O.  Zero- and
+    low-dimensional corner cases still cost at least one page when any data
+    exists.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return 0
+    per_page = max(1, PAGE_SIZE // max(1, vector_bytes(dimensionality)))
+    return -(-count // per_page)  # ceil division
+
+
+@dataclass
+class Page:
+    """One fixed-size page: an id, a payload, and its declared byte size."""
+
+    page_id: int
+    payload: Any
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes > PAGE_SIZE:
+            raise PageOverflowError(
+                f"payload of {self.size_bytes} bytes exceeds the "
+                f"{PAGE_SIZE}-byte page capacity"
+            )
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+
+class PageStore:
+    """Allocates pages and serves raw (uncached, uncounted) page fetches.
+
+    The store itself never counts reads: callers either go through a
+    :class:`~repro.storage.buffer.BufferPool` (random access, counted as
+    logical/physical reads) or call :meth:`read_sequential` for streaming
+    scans (counted as sequential reads).  Writes are counted here because
+    construction cost does not depend on the buffer pool.
+    """
+
+    def __init__(self, counters: Optional[CostCounters] = None) -> None:
+        self._pages: Dict[int, Page] = {}
+        self._next_id = 0
+        self.counters = counters if counters is not None else CostCounters()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def allocate(self, payload: Any, size_bytes: int) -> int:
+        """Store a payload on a fresh page and return its id."""
+        page = Page(self._next_id, payload, size_bytes)
+        self._pages[page.page_id] = page
+        self._next_id += 1
+        self.counters.count_page_write()
+        return page.page_id
+
+    def overwrite(self, page_id: int, payload: Any, size_bytes: int) -> None:
+        """Replace the payload of an existing page."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        self._pages[page_id] = Page(page_id, payload, size_bytes)
+        self.counters.count_page_write()
+
+    def fetch(self, page_id: int) -> Page:
+        """Return a page without any I/O accounting (buffer pool internal)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} was never allocated") from None
+
+    def read_sequential(self, page_id: int) -> Page:
+        """Read a page as part of a streaming scan (no buffering)."""
+        page = self.fetch(page_id)
+        self.counters.count_sequential_read()
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Release a page (dynamic deletes; unused pages stop counting)."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        del self._pages[page_id]
+
+    @property
+    def allocated_pages(self) -> int:
+        """Number of live pages (index size in pages)."""
+        return len(self._pages)

@@ -1,0 +1,236 @@
+"""Paged B+-tree: bulk load, search, range scans, cursors, inserts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.node import INTERNAL_CAPACITY, LEAF_CAPACITY, InternalNode, LeafNode
+from repro.btree.tree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.metrics import CostCounters
+from repro.storage.pager import PageStore
+
+
+def make_tree(leaf_capacity=LEAF_CAPACITY, internal_capacity=INTERNAL_CAPACITY,
+              pool_pages=256):
+    counters = CostCounters()
+    store = PageStore(counters)
+    pool = BufferPool(store, pool_pages, counters)
+    return BPlusTree(store, pool, leaf_capacity, internal_capacity), counters
+
+
+class TestNodes:
+    def test_leaf_key_rid_mismatch(self):
+        with pytest.raises(ValueError):
+            LeafNode(keys=[1.0], rids=[])
+
+    def test_internal_child_separator_mismatch(self):
+        with pytest.raises(ValueError):
+            InternalNode(separators=[1.0], children=[1])
+
+    def test_capacities_derive_from_page_size(self):
+        assert LEAF_CAPACITY == 256
+        assert INTERNAL_CAPACITY == 256
+
+
+class TestBulkLoad:
+    def test_requires_sorted_keys(self):
+        tree, _ = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([2.0, 1.0], [0, 1])
+
+    def test_requires_matching_lengths(self):
+        tree, _ = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([1.0], [0, 1])
+
+    def test_double_load_rejected(self):
+        tree, _ = make_tree()
+        tree.bulk_load([1.0], [0])
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([2.0], [1])
+
+    def test_empty_load_gives_searchable_tree(self):
+        tree, _ = make_tree()
+        tree.bulk_load([], [])
+        assert len(tree) == 0
+        assert list(tree.range(-1e9, 1e9)) == []
+
+    def test_height_grows_with_size(self):
+        small, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        small.bulk_load([float(i) for i in range(8)], list(range(8)))
+        big, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        big.bulk_load([float(i) for i in range(500)], list(range(500)))
+        assert big.height > small.height
+
+    def test_items_in_key_order(self, rng):
+        keys = np.sort(rng.uniform(0, 100, 5000))
+        tree, _ = make_tree()
+        tree.bulk_load(keys.tolist(), list(range(5000)))
+        out_keys = [k for k, _ in tree.items()]
+        assert out_keys == sorted(out_keys)
+        assert len(out_keys) == 5000
+
+
+class TestSearch:
+    @pytest.fixture
+    def loaded(self, rng):
+        keys = np.sort(rng.uniform(0, 100, 3000))
+        tree, counters = make_tree(leaf_capacity=16, internal_capacity=16)
+        tree.bulk_load(keys.tolist(), list(range(3000)))
+        return tree, keys, counters
+
+    def test_point_search_finds_duplicates(self):
+        tree, _ = make_tree()
+        tree.bulk_load([1.0, 2.0, 2.0, 2.0, 3.0], [10, 20, 21, 22, 30])
+        assert sorted(tree.search(2.0)) == [20, 21, 22]
+        assert tree.search(5.0) == []
+
+    def test_range_matches_linear_filter(self, loaded):
+        tree, keys, _ = loaded
+        lo, hi = 25.0, 26.5
+        expected = [
+            (float(k), i) for i, k in enumerate(keys) if lo <= k <= hi
+        ]
+        assert list(tree.range(lo, hi)) == expected
+
+    def test_empty_range(self, loaded):
+        tree, _, _ = loaded
+        assert list(tree.range(50.0, 49.0)) == []
+
+    def test_range_covering_everything(self, loaded):
+        tree, keys, _ = loaded
+        assert len(list(tree.range(-1.0, 101.0))) == keys.size
+
+    def test_search_charges_page_reads(self, loaded):
+        tree, _, counters = loaded
+        before = counters.snapshot()
+        list(tree.range(10.0, 10.1))
+        diff = counters.snapshot() - before
+        # At least the root-to-leaf path was read.
+        assert diff.logical_reads >= tree.height
+
+    def test_search_on_empty_tree_raises(self):
+        tree, _ = make_tree()
+        with pytest.raises(RuntimeError):
+            tree.cursor(1.0)
+
+
+class TestCursor:
+    @pytest.fixture
+    def loaded(self):
+        keys = [float(i) for i in range(100)]
+        tree, _ = make_tree(leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load(keys, list(range(100)))
+        return tree
+
+    def test_cursor_positions_at_first_geq(self, loaded):
+        cur = loaded.cursor(50.5)
+        assert cur.peek_next() == (51.0, 51)
+        assert cur.peek_prev() == (50.0, 50)
+
+    def test_forward_walk(self, loaded):
+        cur = loaded.cursor(97.0)
+        seen = []
+        while True:
+            entry = cur.next()
+            if entry is None:
+                break
+            seen.append(entry[1])
+        assert seen == [97, 98, 99]
+
+    def test_backward_walk(self, loaded):
+        cur = loaded.cursor(2.5)
+        seen = []
+        while True:
+            entry = cur.prev()
+            if entry is None:
+                break
+            seen.append(entry[1])
+        assert seen == [2, 1, 0]
+
+    def test_bidirectional_interleaving(self, loaded):
+        cur_fwd = loaded.cursor(50.0)
+        cur_bwd = loaded.cursor(50.0)
+        assert cur_fwd.next() == (50.0, 50)
+        assert cur_bwd.prev() == (49.0, 49)
+        assert cur_fwd.next() == (51.0, 51)
+        assert cur_bwd.prev() == (48.0, 48)
+
+    def test_cursor_before_first_and_after_last(self, loaded):
+        front = loaded.cursor(-5.0)
+        assert front.prev() is None
+        assert front.next() == (0.0, 0)
+        back = loaded.cursor(1e9)
+        assert back.peek_next() is None
+        assert back.prev() == (99.0, 99)
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree, _ = make_tree()
+        tree.insert(5.0, 50)
+        assert tree.search(5.0) == [50]
+        assert len(tree) == 1
+
+    def test_random_inserts_stay_sorted(self):
+        tree, _ = make_tree(leaf_capacity=6, internal_capacity=6)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 800)
+        for i, v in enumerate(values):
+            tree.insert(float(v), i)
+        items = list(tree.items())
+        assert len(items) == 800
+        keys = [k for k, _ in items]
+        assert keys == sorted(keys)
+        expected = sorted(
+            (float(v), i) for i, v in enumerate(values)
+        )
+        assert keys == [k for k, _ in expected]
+
+    def test_insert_after_bulk_load(self):
+        tree, _ = make_tree(leaf_capacity=6, internal_capacity=6)
+        tree.bulk_load([float(i) for i in range(100)], list(range(100)))
+        tree.insert(50.5, 999)
+        found = list(tree.range(50.0, 51.0))
+        assert (50.5, 999) in found
+        assert len(tree) == 101
+
+    def test_ascending_inserts(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        for i in range(300):
+            tree.insert(float(i), i)
+        assert [r for _, r in tree.items()] == list(range(300))
+        assert tree.height >= 3
+
+    def test_duplicate_key_inserts(self):
+        tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+        for i in range(50):
+            tree.insert(7.0, i)
+        assert sorted(tree.search(7.0)) == list(range(50))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    keys=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    bounds=st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    ),
+)
+def test_property_tree_equals_sorted_list(keys, bounds):
+    """The tree behaves exactly like a sorted (key, rid) list."""
+    tree, _ = make_tree(leaf_capacity=4, internal_capacity=4)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    lo, hi = min(bounds), max(bounds)
+    expected = sorted(
+        (k, i) for i, k in enumerate(keys) if lo <= k <= hi
+    )
+    assert sorted(tree.range(lo, hi)) == expected
+    assert len(list(tree.items())) == len(keys)

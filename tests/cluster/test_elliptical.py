@@ -1,0 +1,165 @@
+"""Elliptical k-means — the Sung-Poggio engine inside Generate Ellipsoid."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.elliptical import EllipticalKMeans
+from repro.storage.metrics import CostCounters
+
+
+def purity(labels, truth):
+    """Mean per-found-cluster majority share."""
+    total, correct = 0, 0
+    for cluster in np.unique(labels):
+        mask = labels == cluster
+        values, counts = np.unique(truth[mask], return_counts=True)
+        total += mask.sum()
+        correct += counts.max()
+    return correct / total
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EllipticalKMeans(0)
+        with pytest.raises(ValueError):
+            EllipticalKMeans(2, lookup_k=0)
+        with pytest.raises(ValueError):
+            EllipticalKMeans(2, max_outer_iterations=0)
+
+    def test_empty_data_rejected(self, rng):
+        with pytest.raises(ValueError):
+            EllipticalKMeans(2).fit(np.zeros((0, 3)), rng)
+
+
+class TestClustering:
+    def test_separates_colocated_anisotropic_clusters(
+        self, anisotropic_pair, rng
+    ):
+        """Figure 1's scenario: two clusters distinguishable only by their
+        covariance orientation.  Euclidean k-means cannot do this.
+
+        Hard-assignment elliptical k-means at exactly k=2 has a sticky
+        symmetric local optimum on a perfectly co-centered cross (the two
+        'V' halves), so — like MMDR itself, which runs with MaxEC=10 and
+        merges afterwards — we over-provision clusters and check that the
+        pieces are *orientation-pure*: no piece mixes the two ellipsoids.
+        (Points near the shared center are intrinsically ambiguous since
+        both densities peak there, so ~0.85 is the hard-assignment
+        ceiling.)"""
+        points, truth = anisotropic_pair
+        result = EllipticalKMeans(10).fit(points, rng)
+        assert result.n_clusters >= 2
+        assert purity(result.labels, truth) > 0.8
+
+    def test_separates_offset_anisotropic_clusters(self, rng):
+        """With even a modest centroid offset, k=2 recovers the two
+        differently-oriented clusters exactly."""
+        gen = np.random.default_rng(3)
+        a = gen.normal(0, [5, 1, 0.1, 0.1, 0.1], (400, 5))
+        b = gen.normal(0, [1, 5, 0.1, 0.1, 0.1], (400, 5))
+        b[:, 0] += 12.0
+        points = np.vstack([a, b])
+        truth = np.repeat([0, 1], 400)
+        result = EllipticalKMeans(2).fit(points, rng)
+        assert result.n_clusters == 2
+        assert purity(result.labels, truth) > 0.95
+
+    def test_result_structure(self, anisotropic_pair, rng):
+        points, _ = anisotropic_pair
+        result = EllipticalKMeans(2).fit(points, rng)
+        assert result.labels.shape == (points.shape[0],)
+        assert len(result.shapes) == result.n_clusters
+        assert result.centroids.shape == (result.n_clusters, 5)
+        for cluster in range(result.n_clusters):
+            members = result.members(cluster)
+            assert members.size > 0
+            assert np.allclose(
+                result.shapes[cluster].centroid,
+                points[members].mean(axis=0),
+                atol=1e-9,
+            )
+
+    def test_single_cluster_request(self, rng):
+        data = rng.normal(size=(100, 3))
+        result = EllipticalKMeans(1).fit(data, rng)
+        assert result.n_clusters == 1
+        assert np.all(result.labels == 0)
+
+    def test_more_clusters_than_points(self, rng):
+        data = rng.normal(size=(5, 2))
+        result = EllipticalKMeans(10).fit(data, rng)
+        assert 1 <= result.n_clusters <= 5
+
+    def test_deterministic_under_seed(self, anisotropic_pair):
+        points, _ = anisotropic_pair
+        r1 = EllipticalKMeans(2).fit(points, np.random.default_rng(4))
+        r2 = EllipticalKMeans(2).fit(points, np.random.default_rng(4))
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_duplicate_points_handled(self, rng):
+        data = np.repeat(rng.normal(size=(4, 3)), 30, axis=0)
+        result = EllipticalKMeans(4).fit(data, rng)
+        assert result.n_clusters >= 1
+        assert np.all(np.isfinite(result.centroids))
+
+
+class TestOptimizations:
+    @pytest.mark.parametrize(
+        "use_lookup,use_activity",
+        [(True, True), (True, False), (False, True), (False, False)],
+    )
+    def test_optimizations_preserve_quality(
+        self, anisotropic_pair, use_lookup, use_activity
+    ):
+        """§4.2's claim: the lookup table and activity filter are pure
+        speedups — clustering quality must not degrade."""
+        points, truth = anisotropic_pair
+        result = EllipticalKMeans(
+            10, use_lookup=use_lookup, use_activity=use_activity
+        ).fit(points, np.random.default_rng(8))
+        assert purity(result.labels, truth) > 0.8
+
+    def test_lookup_reduces_distance_computations(self, anisotropic_pair):
+        points, _ = anisotropic_pair
+        costs = {}
+        for use_lookup in (False, True):
+            counters = CostCounters()
+            EllipticalKMeans(
+                5,
+                use_lookup=use_lookup,
+                use_activity=False,
+                lookup_k=1,
+                n_init=1,
+            ).fit(points, np.random.default_rng(8), counters)
+            costs[use_lookup] = counters.distance_computations
+        assert costs[True] <= costs[False]
+
+    def test_activity_freezes_points(self, anisotropic_pair):
+        points, _ = anisotropic_pair
+        result = EllipticalKMeans(
+            2, use_activity=True, activity_threshold=2,
+            max_outer_iterations=8, max_inner_iterations=20,
+        ).fit(points, np.random.default_rng(8))
+        # After convergence on easy data, a large share should be frozen.
+        assert result.final_inactive_fraction > 0.3
+
+
+class TestNormalizations:
+    @pytest.mark.parametrize("norm", ["none", "gaussian", "paper"])
+    def test_all_normalizations_run(self, anisotropic_pair, norm, rng):
+        points, _ = anisotropic_pair
+        result = EllipticalKMeans(2, normalization=norm).fit(points, rng)
+        assert result.n_clusters >= 1
+
+    def test_normalized_resists_size_imbalance(self, rng):
+        """Definition 3.2: without normalization a big elongated cluster
+        tends to absorb a small compact one."""
+        big = rng.normal(0, [8.0, 0.5], (1500, 2))
+        small = rng.normal([6.0, 4.0], 0.25, (150, 2))
+        points = np.vstack([big, small])
+        truth = np.repeat([0, 1], [1500, 150])
+        result = EllipticalKMeans(
+            2, normalization="gaussian"
+        ).fit(points, np.random.default_rng(17))
+        assert purity(result.labels, truth) > 0.9

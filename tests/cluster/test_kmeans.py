@@ -1,0 +1,135 @@
+"""Euclidean k-means (the LDR substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans import euclidean_sq, kmeans, kmeans_pp_seeds
+from repro.storage.metrics import CostCounters
+
+
+class TestEuclideanSq:
+    def test_matches_direct_computation(self, rng):
+        pts = rng.normal(size=(20, 4))
+        cents = rng.normal(size=(3, 4))
+        direct = ((pts[:, None, :] - cents[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(euclidean_sq(pts, cents), direct, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        pts = rng.normal(size=(50, 3)) * 1e6
+        assert np.all(euclidean_sq(pts, pts[:5]) >= 0)
+
+    def test_counts_work(self, rng):
+        c = CostCounters()
+        euclidean_sq(rng.normal(size=(10, 4)), rng.normal(size=(3, 4)), c)
+        assert c.distance_computations == 30
+        assert c.distance_flops == 120
+
+
+class TestSeeding:
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_pp_seeds(np.zeros((0, 2)), 3, rng)
+
+    def test_returns_requested_count(self, rng):
+        data = rng.normal(size=(100, 3))
+        assert kmeans_pp_seeds(data, 5, rng).shape == (5, 3)
+
+    def test_caps_at_data_size(self, rng):
+        data = rng.normal(size=(3, 2))
+        assert kmeans_pp_seeds(data, 10, rng).shape[0] == 3
+
+    def test_all_identical_points(self, rng):
+        data = np.ones((10, 2))
+        seeds = kmeans_pp_seeds(data, 3, rng)
+        assert seeds.shape == (3, 2)
+        assert np.allclose(seeds, 1.0)
+
+    def test_seeds_are_data_points(self, rng):
+        data = rng.normal(size=(50, 4))
+        seeds = kmeans_pp_seeds(data, 4, rng)
+        for seed in seeds:
+            assert np.any(np.all(np.isclose(data, seed), axis=1))
+
+
+class TestKMeans:
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2, rng)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 0, rng)
+        with pytest.raises(ValueError):
+            kmeans(np.ones((5, 2)), 2, rng, max_iterations=0)
+
+    def test_separates_obvious_clusters(self, rng):
+        a = rng.normal(0.0, 0.1, (100, 2))
+        b = rng.normal(10.0, 0.1, (120, 2))
+        result = kmeans(np.vstack([a, b]), 2, rng)
+        assert result.n_clusters == 2
+        sizes = sorted(np.bincount(result.labels).tolist())
+        assert sizes == [100, 120]
+        assert result.converged
+
+    def test_every_point_labelled(self, rng):
+        data = rng.normal(size=(200, 3))
+        result = kmeans(data, 4, rng)
+        assert result.labels.shape == (200,)
+        assert np.all(result.labels >= 0)
+        assert np.all(result.labels < result.n_clusters)
+
+    def test_centroids_are_member_means(self, rng):
+        data = rng.normal(size=(150, 3))
+        result = kmeans(data, 3, rng)
+        for cluster in range(result.n_clusters):
+            members = result.members(cluster)
+            assert np.allclose(
+                result.centroids[cluster],
+                data[members].mean(axis=0),
+                atol=1e-9,
+            )
+
+    def test_empty_clusters_dropped(self, rng):
+        # 2 distinct values, k=5: at most 2 non-empty clusters survive.
+        data = np.repeat([[0.0, 0.0], [5.0, 5.0]], 20, axis=0)
+        result = kmeans(data, 5, rng)
+        assert result.n_clusters <= 2
+
+    def test_inertia_decreases_vs_single_cluster(self, rng):
+        data = np.vstack(
+            [rng.normal(0, 1, (50, 2)), rng.normal(20, 1, (50, 2))]
+        )
+        one = kmeans(data, 1, rng)
+        two = kmeans(data, 2, rng)
+        assert two.inertia < one.inertia
+
+    def test_deterministic_under_seed(self):
+        data = np.random.default_rng(5).normal(size=(100, 3))
+        r1 = kmeans(data, 3, np.random.default_rng(11))
+        r2 = kmeans(data, 3, np.random.default_rng(11))
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_counters_accumulate(self, rng):
+        c = CostCounters()
+        kmeans(rng.normal(size=(100, 3)), 3, rng, counters=c)
+        assert c.distance_computations > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    d=st.integers(min_value=1, max_value=5),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_kmeans_partition(n, d, k, seed):
+    """Labels always form a partition; inertia is finite and non-negative."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d))
+    result = kmeans(data, k, rng)
+    assert result.labels.shape == (n,)
+    assert result.n_clusters >= 1
+    assert set(np.unique(result.labels)) <= set(range(result.n_clusters))
+    # Every cluster id is used (empties are dropped and compacted).
+    assert set(np.unique(result.labels)) == set(range(result.n_clusters))
+    assert np.isfinite(result.inertia) and result.inertia >= 0

@@ -1,0 +1,91 @@
+"""Lookup table with Activity field (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.lookup import CentroidLookupTable
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentroidLookupTable(-1, 3, 10)
+        with pytest.raises(ValueError):
+            CentroidLookupTable(5, 0, 10)
+        with pytest.raises(ValueError):
+            CentroidLookupTable(5, 3, 0)
+
+    def test_starts_uncached_and_active(self):
+        table = CentroidLookupTable(4, 3, 10)
+        assert np.all(table.candidates == -1)
+        assert np.all(table.active_mask())
+        assert table.inactive_fraction == 0.0
+
+
+class TestRefresh:
+    def test_stores_k_closest_in_order(self):
+        table = CentroidLookupTable(2, 2, 10)
+        dists = np.array([[3.0, 1.0, 2.0], [0.5, 5.0, 0.1]])
+        table.refresh(np.array([0, 1]), dists)
+        assert table.candidates[0].tolist() == [1, 2]
+        assert table.candidates[1].tolist() == [2, 0]
+
+    def test_fewer_clusters_than_k_pads_with_minus_one(self):
+        table = CentroidLookupTable(1, 3, 10)
+        table.refresh(np.array([0]), np.array([[2.0, 1.0]]))
+        assert table.candidates[0].tolist() == [1, 0, -1]
+
+    def test_partial_refresh_leaves_others(self):
+        table = CentroidLookupTable(3, 2, 10)
+        table.refresh(np.array([1]), np.array([[1.0, 2.0]]))
+        assert np.all(table.candidates[0] == -1)
+        assert table.candidates[1].tolist() == [0, 1]
+        assert np.all(table.candidates[2] == -1)
+
+    def test_empty_refresh_noop(self):
+        table = CentroidLookupTable(2, 2, 10)
+        table.refresh(np.array([], dtype=np.int64), np.zeros((0, 3)))
+        assert np.all(table.candidates == -1)
+
+
+class TestActivity:
+    def test_unchanged_points_accumulate(self):
+        table = CentroidLookupTable(3, 2, activity_threshold=2)
+        rows = np.arange(3)
+        stable = np.array([False, False, False])
+        table.record_outcome(rows, changed=stable)
+        assert np.all(table.active_mask())
+        table.record_outcome(rows, changed=stable)
+        assert not np.any(table.active_mask())
+        assert table.inactive_fraction == 1.0
+
+    def test_change_resets_counter(self):
+        table = CentroidLookupTable(2, 2, activity_threshold=2)
+        rows = np.arange(2)
+        table.record_outcome(rows, np.array([False, False]))
+        table.record_outcome(rows, np.array([True, False]))
+        mask = table.active_mask()
+        assert mask[0] and not mask[1]
+
+    def test_shape_mismatch_rejected(self):
+        table = CentroidLookupTable(3, 2, 10)
+        with pytest.raises(ValueError):
+            table.record_outcome(np.arange(3), np.array([True]))
+
+    def test_reactivate_all(self):
+        table = CentroidLookupTable(2, 2, activity_threshold=1)
+        table.record_outcome(np.arange(2), np.array([False, False]))
+        assert not np.any(table.active_mask())
+        table.reactivate_all()
+        assert np.all(table.active_mask())
+
+    def test_invalidate_keeps_activity(self):
+        table = CentroidLookupTable(2, 2, activity_threshold=1)
+        table.refresh(np.arange(2), np.ones((2, 2)))
+        table.record_outcome(np.arange(2), np.array([False, False]))
+        table.invalidate()
+        assert np.all(table.candidates == -1)
+        assert not np.any(table.active_mask())
+
+    def test_inactive_fraction_empty_table(self):
+        assert CentroidLookupTable(0, 2, 5).inactive_fraction == 0.0

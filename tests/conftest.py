@@ -1,0 +1,74 @@
+"""Shared fixtures: seeded generators and small reusable datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ClusterSpec,
+    SyntheticSpec,
+    generate_correlated_clusters,
+)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def two_cluster_dataset():
+    """Two well-separated 4-of-16-dimensional ellipsoids + noise.
+
+    Session-scoped: generation and ground truth are reused across the many
+    tests that only need *a* correlated dataset.
+    """
+    spec = SyntheticSpec(
+        n_points=2000,
+        dimensionality=16,
+        n_clusters=2,
+        retained_dims=4,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    return generate_correlated_clusters(spec, np.random.default_rng(77))
+
+
+@pytest.fixture(scope="session")
+def five_cluster_dataset():
+    """Five 8-of-32-dimensional ellipsoids (the MMDR showcase shape)."""
+    spec = SyntheticSpec(
+        n_points=5000,
+        dimensionality=32,
+        n_clusters=5,
+        retained_dims=8,
+        variance_r=0.25,
+        variance_e=0.015,
+        noise_fraction=0.005,
+    )
+    return generate_correlated_clusters(spec, np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def anisotropic_pair():
+    """Two co-located clusters separable only by orientation (Figure 1)."""
+    rng = np.random.default_rng(3)
+    a = rng.normal(0, [5, 1, 0.1, 0.1, 0.1], (400, 5))
+    b = rng.normal(0, [1, 5, 0.1, 0.1, 0.1], (400, 5))
+    points = np.vstack([a, b])
+    labels = np.repeat([0, 1], 400)
+    return points, labels
+
+
+def make_elongated_cluster(
+    rng, n=500, d=8, intrinsic=3, sigma_major=0.2, sigma_minor=0.01
+):
+    """Helper importable by tests: one rotated elongated Gaussian cluster."""
+    from repro.linalg.rotation import random_orthonormal
+
+    scales = np.full(d, sigma_minor)
+    scales[:intrinsic] = sigma_major
+    points = rng.normal(0.0, scales, size=(n, d))
+    rotation = random_orthonormal(d, rng)
+    return points @ rotation

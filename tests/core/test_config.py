@@ -1,0 +1,73 @@
+"""MMDRConfig — Table 1 defaults and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, MMDRConfig
+
+
+class TestTableOneDefaults:
+    """The paper's Table 1 values, asserted verbatim."""
+
+    def test_beta(self):
+        assert DEFAULT_CONFIG.beta == 0.1
+
+    def test_max_mpe(self):
+        assert DEFAULT_CONFIG.max_mpe == 0.05
+
+    def test_max_ec(self):
+        assert DEFAULT_CONFIG.max_clusters == 10
+
+    def test_max_dim(self):
+        assert DEFAULT_CONFIG.max_dim == 20
+
+    def test_epsilon_stream_fraction(self):
+        assert DEFAULT_CONFIG.stream_fraction == 0.005
+
+    def test_xi_outlier_fraction(self):
+        assert DEFAULT_CONFIG.outlier_fraction == 0.005
+
+    def test_lookup_k(self):
+        assert DEFAULT_CONFIG.lookup_k == 3
+
+    def test_activity_threshold_matches_section_6_3(self):
+        assert DEFAULT_CONFIG.activity_threshold == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("beta", 0.0),
+            ("beta", -1.0),
+            ("max_mpe", 0.0),
+            ("max_clusters", 0),
+            ("max_dim", 0),
+            ("stream_fraction", 0.0),
+            ("stream_fraction", 1.5),
+            ("outlier_fraction", -0.1),
+            ("outlier_fraction", 1.0),
+            ("lookup_k", 0),
+            ("initial_subspace_dim", 0),
+            ("mpe_change_threshold", -0.01),
+            ("min_cluster_size", 1),
+        ],
+    )
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError):
+            MMDRConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONFIG.beta = 0.5
+
+    def test_with_overrides_copies(self):
+        derived = DEFAULT_CONFIG.with_overrides(max_dim=8)
+        assert derived.max_dim == 8
+        assert DEFAULT_CONFIG.max_dim == 20
+        assert derived.beta == DEFAULT_CONFIG.beta
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_overrides(beta=-1.0)

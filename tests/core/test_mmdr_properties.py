@@ -1,0 +1,83 @@
+"""Property-based invariants of the MMDR pipeline.
+
+Whatever random (small) dataset MMDR is pointed at, the output must be a
+well-formed model: every point accounted for exactly once, dimensionalities
+within bounds, radii consistent with projections, and β respected by every
+member.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MMDRConfig
+from repro.core.mmdr import MMDR
+from repro.data.synthetic import SyntheticSpec, generate_correlated_clusters
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_clusters=st.integers(min_value=1, max_value=4),
+    dims=st.sampled_from([8, 16, 24]),
+    intrinsic=st.integers(min_value=1, max_value=4),
+)
+def test_property_model_wellformed(seed, n_clusters, dims, intrinsic):
+    spec = SyntheticSpec(
+        n_points=800,
+        dimensionality=dims,
+        n_clusters=n_clusters,
+        retained_dims=min(intrinsic, dims),
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    ds = generate_correlated_clusters(spec, np.random.default_rng(seed))
+    config = MMDRConfig(min_cluster_size=20)
+    model = MMDR(config).fit(ds.points, np.random.default_rng(seed + 1))
+
+    # 1. Partition: every point exactly once.
+    seen = np.zeros(model.n_points, dtype=int)
+    for subspace in model.subspaces:
+        seen[subspace.member_ids] += 1
+    seen[model.outliers.member_ids] += 1
+    assert np.all(seen == 1)
+
+    # 2. Bounds: at least one subspace; dims within [1, min(max_dim, d)].
+    assert model.n_subspaces >= 1
+    for subspace in model.subspaces:
+        assert 1 <= subspace.reduced_dim <= min(config.max_dim, dims)
+        assert subspace.original_dim == dims
+        # 3. Radii consistent with stored projections.
+        norms = np.linalg.norm(subspace.projections, axis=1)
+        assert subspace.max_radius == pytest.approx(float(norms.max()))
+        assert subspace.min_radius == pytest.approx(float(norms.min()))
+        # 4. Every member within beta of its subspace.
+        residuals = subspace.proj_dist_r(ds.points[subspace.member_ids])
+        assert np.all(residuals <= config.beta + 1e-9)
+        # 5. Projections match the subspace's own transform.
+        assert np.allclose(
+            subspace.project(ds.points[subspace.member_ids]),
+            subspace.projections,
+            atol=1e-9,
+        )
+
+    # 6. MaxEC respected.
+    assert model.n_subspaces <= config.max_clusters
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_property_uniform_noise_mostly_outliers_or_wide(seed):
+    """Pure uniform noise has no elliptical structure: MMDR must not
+    invent many thin subspaces — whatever it keeps must still respect β."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0, 1, size=(600, 16))
+    config = MMDRConfig(min_cluster_size=20)
+    model = MMDR(config).fit(data, np.random.default_rng(seed + 1))
+    for subspace in model.subspaces:
+        residuals = subspace.proj_dist_r(data[subspace.member_ids])
+        assert np.all(residuals <= config.beta + 1e-9)
+    total = sum(s.size for s in model.subspaces) + model.outliers.size
+    assert total == 600

@@ -1,0 +1,142 @@
+"""Scalable MMDR — the §4.3 data-stream variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MMDRConfig
+from repro.core.mmdr import MMDR
+from repro.core.scalable import ScalableMMDR
+from repro.storage.metrics import CostCounters
+from repro.storage.pager import pages_for_vectors
+
+
+class TestBasics:
+    def test_empty_data_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ScalableMMDR().fit(np.zeros((0, 4)), rng)
+
+    def test_covers_every_point_exactly_once(self, five_cluster_dataset):
+        model = ScalableMMDR(min_stream_points=400).fit(
+            five_cluster_dataset.points, np.random.default_rng(2)
+        )
+        seen = np.zeros(model.n_points, dtype=int)
+        for subspace in model.subspaces:
+            seen[subspace.member_ids] += 1
+        seen[model.outliers.member_ids] += 1
+        assert np.all(seen == 1)
+
+    def test_streams_processed_matches_chunking(self, five_cluster_dataset):
+        n = five_cluster_dataset.points.shape[0]
+        fitter = ScalableMMDR(min_stream_points=512)
+        model = fitter.fit(
+            five_cluster_dataset.points, np.random.default_rng(2)
+        )
+        expected = -(-n // 512)  # epsilon*N < 512 here, so 512 per stream
+        assert model.stats.streams_processed == expected
+
+
+class TestQualityParity:
+    def test_matches_in_memory_mmdr_quality(self, five_cluster_dataset):
+        """§4.3's implicit claim: streaming does not change the quality of
+        what gets discovered.  Structure may differ in detail (a borderline
+        pair can end up merged into one wider subspace), so the check is on
+        what the reduction is *for*: query precision parity, comparable
+        subspace counts, comparable outlier mass."""
+        from repro.data.workload import sample_queries
+        from repro.eval.precision import (
+            exact_knn,
+            precision_at_k,
+            reduced_knn,
+        )
+        from repro.reduction.mmdr_adapter import model_to_reduced
+
+        ds = five_cluster_dataset
+        in_memory = MMDR().fit(ds.points, np.random.default_rng(3))
+        streamed = ScalableMMDR(min_stream_points=400).fit(
+            ds.points, np.random.default_rng(4)
+        )
+        assert abs(streamed.n_subspaces - in_memory.n_subspaces) <= 1
+        assert streamed.outliers.size <= in_memory.outliers.size * 3 + 30
+
+        workload = sample_queries(
+            ds.points, 40, np.random.default_rng(9), k=10
+        )
+        truth = exact_knn(ds.points, workload.queries, 10)
+        precisions = {}
+        for name, model in [("memory", in_memory), ("stream", streamed)]:
+            approx = reduced_knn(
+                model_to_reduced(model), workload.queries, 10
+            )
+            precisions[name] = precision_at_k(truth, approx)
+        assert precisions["stream"] >= precisions["memory"] - 0.05
+
+    def test_high_purity(self, five_cluster_dataset):
+        ds = five_cluster_dataset
+        model = ScalableMMDR(min_stream_points=400).fit(
+            ds.points, np.random.default_rng(4)
+        )
+        for subspace in model.subspaces:
+            labels = ds.labels[subspace.member_ids]
+            _, counts = np.unique(labels, return_counts=True)
+            assert counts.max() / counts.sum() > 0.95
+
+
+class TestIOBehaviour:
+    def test_sequential_scans_are_bounded(self, five_cluster_dataset):
+        """The scalability claim's witness: the data is scanned a constant
+        number of times (chunk pass + routing pass), so sequential reads
+        stay within a small multiple of the dataset's page count."""
+        ds = five_cluster_dataset
+        counters = CostCounters()
+        ScalableMMDR(min_stream_points=400).fit(
+            ds.points, np.random.default_rng(4), counters
+        )
+        n, d = ds.points.shape
+        dataset_pages = pages_for_vectors(n, d)
+        assert counters.sequential_reads <= 3 * dataset_pages
+        assert counters.sequential_reads >= 2 * dataset_pages
+
+    def test_reads_scale_linearly_with_n(self, rng):
+        from repro.data.synthetic import (
+            SyntheticSpec,
+            generate_correlated_clusters,
+        )
+
+        reads = []
+        sizes = (2000, 4000)
+        for n in sizes:
+            spec = SyntheticSpec(
+                n_points=n,
+                dimensionality=16,
+                n_clusters=2,
+                retained_dims=3,
+                variance_r=0.3,
+                variance_e=0.01,
+            )
+            ds = generate_correlated_clusters(
+                spec, np.random.default_rng(n)
+            )
+            counters = CostCounters()
+            ScalableMMDR(min_stream_points=500).fit(
+                ds.points, np.random.default_rng(1), counters
+            )
+            reads.append(counters.sequential_reads)
+        ratio = reads[1] / reads[0]
+        assert 1.5 < ratio < 2.6  # ~2x data -> ~2x sequential I/O
+
+
+class TestConfigInteraction:
+    def test_stream_fraction_sets_chunk_size(self, five_cluster_dataset):
+        config = MMDRConfig(stream_fraction=0.5)
+        model = ScalableMMDR(config, min_stream_points=10).fit(
+            five_cluster_dataset.points, np.random.default_rng(5)
+        )
+        assert model.stats.streams_processed == 2
+
+    def test_single_stream_degenerates_to_batch(self, two_cluster_dataset):
+        config = MMDRConfig(stream_fraction=1.0)
+        model = ScalableMMDR(config).fit(
+            two_cluster_dataset.points, np.random.default_rng(5)
+        )
+        assert model.stats.streams_processed == 1
+        assert model.n_subspaces >= 1

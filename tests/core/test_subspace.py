@@ -1,0 +1,150 @@
+"""EllipticalSubspace / OutlierSet / MMDRModel structures."""
+
+import numpy as np
+import pytest
+
+from repro.core.subspace import (
+    EllipticalSubspace,
+    MMDRModel,
+    MMDRStats,
+    OutlierSet,
+)
+from repro.linalg.pca import fit_pca
+
+
+def make_subspace(rng, n=60, d=8, d_r=3, subspace_id=0, id_offset=0):
+    data = rng.normal(0, [3, 2, 1] + [0.05] * (d - 3), (n, d))
+    model = fit_pca(data)
+    basis = model.basis(d_r)
+    return EllipticalSubspace(
+        subspace_id=subspace_id,
+        mean=model.mean,
+        basis=basis,
+        covariance=np.eye(d),
+        member_ids=np.arange(id_offset, id_offset + n),
+        projections=(data - model.mean) @ basis,
+        discovered_at_dim=d_r,
+        mpe=0.01,
+        ellipticity=2.0,
+    ), data
+
+
+class TestEllipticalSubspace:
+    def test_dimensions(self, rng):
+        subspace, _ = make_subspace(rng)
+        assert subspace.original_dim == 8
+        assert subspace.reduced_dim == 3
+        assert subspace.size == 60
+
+    def test_shape_mismatch_rejected(self, rng):
+        subspace, _ = make_subspace(rng)
+        with pytest.raises(ValueError):
+            EllipticalSubspace(
+                subspace_id=0,
+                mean=subspace.mean,
+                basis=subspace.basis,
+                covariance=subspace.covariance,
+                member_ids=subspace.member_ids,
+                projections=subspace.projections[:-1],
+                discovered_at_dim=3,
+                mpe=0.0,
+                ellipticity=0.0,
+            )
+
+    def test_radii_bound_projections(self, rng):
+        subspace, _ = make_subspace(rng)
+        norms = np.linalg.norm(subspace.projections, axis=1)
+        assert subspace.max_radius == pytest.approx(norms.max())
+        assert subspace.min_radius == pytest.approx(norms.min())
+
+    def test_project_members_matches_stored(self, rng):
+        subspace, data = make_subspace(rng)
+        assert np.allclose(subspace.project(data), subspace.projections)
+
+    def test_proj_dist_r_is_reconstruction_error(self, rng):
+        subspace, data = make_subspace(rng)
+        recon = subspace.reconstruct(subspace.project(data))
+        assert np.allclose(
+            subspace.proj_dist_r(data),
+            np.linalg.norm(data - recon, axis=1),
+        )
+
+    def test_proj_dist_r_zero_for_points_in_subspace(self, rng):
+        subspace, _ = make_subspace(rng)
+        in_plane = subspace.reconstruct(rng.normal(size=(5, 3)))
+        assert np.allclose(subspace.proj_dist_r(in_plane), 0.0, atol=1e-9)
+
+
+class TestOutlierSet:
+    def test_centroid_and_radius(self, rng):
+        pts = rng.normal(size=(20, 4))
+        outliers = OutlierSet(member_ids=np.arange(20), points=pts)
+        assert np.allclose(outliers.centroid, pts.mean(axis=0))
+        dists = np.linalg.norm(pts - outliers.centroid, axis=1)
+        assert outliers.max_radius == pytest.approx(dists.max())
+
+    def test_empty_set(self):
+        outliers = OutlierSet(
+            member_ids=np.zeros(0, dtype=np.int64),
+            points=np.zeros((0, 4)),
+        )
+        assert outliers.size == 0
+        assert outliers.max_radius == 0.0
+
+    def test_count_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            OutlierSet(member_ids=np.arange(3), points=rng.normal(size=(2, 4)))
+
+
+class TestMMDRModel:
+    def make_model(self, rng):
+        s0, _ = make_subspace(rng, n=60, subspace_id=0, id_offset=0)
+        s1, _ = make_subspace(rng, n=40, subspace_id=1, id_offset=60)
+        outliers = OutlierSet(
+            member_ids=np.arange(100, 110),
+            points=rng.normal(size=(10, 8)),
+        )
+        return MMDRModel(
+            subspaces=[s0, s1],
+            outliers=outliers,
+            n_points=110,
+            dimensionality=8,
+            stats=MMDRStats(),
+        )
+
+    def test_labels_partition(self, rng):
+        model = self.make_model(rng)
+        labels = model.labels()
+        assert labels.shape == (110,)
+        assert np.all(labels[:60] == 0)
+        assert np.all(labels[60:100] == 1)
+        assert np.all(labels[100:] == -1)
+
+    def test_coverage(self, rng):
+        model = self.make_model(rng)
+        assert model.coverage() == pytest.approx(100 / 110)
+
+    def test_reduced_dims(self, rng):
+        model = self.make_model(rng)
+        assert model.reduced_dims() == [3, 3]
+
+    def test_assign_member_point(self, rng):
+        model = self.make_model(rng)
+        subspace = model.subspaces[0]
+        in_plane = subspace.reconstruct(np.array([0.5, -0.2, 0.1]))
+        sid, projection = model.assign(in_plane, beta=0.1)
+        assert sid == 0
+        assert projection.shape == (3,)
+
+    def test_assign_far_point_is_outlier(self, rng):
+        model = self.make_model(rng)
+        far = np.full(8, 1e3)
+        sid, projection = model.assign(far, beta=0.1)
+        assert sid == -1
+        assert projection is None
+
+    def test_summary_mentions_each_subspace(self, rng):
+        model = self.make_model(rng)
+        text = model.summary()
+        assert "subspace 0" in text and "subspace 1" in text
+        assert "110 points" in text

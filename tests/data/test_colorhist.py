@@ -1,0 +1,93 @@
+"""Simulated Corel color histograms."""
+
+import numpy as np
+import pytest
+
+from repro.data.colorhist import ColorHistogramSpec, generate_color_histograms
+
+
+class TestSpec:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_images": 0},
+            {"n_bins": 1},
+            {"n_themes": 0},
+            {"dominant_bins": 0},
+            {"dominant_bins": 100},
+            {"outlier_fraction": 1.0},
+            {"outlier_fraction": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ColorHistogramSpec(**kwargs)
+
+    def test_paper_scale_defaults(self):
+        spec = ColorHistogramSpec()
+        assert spec.n_images == 70_000
+        assert spec.n_bins == 64
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def histograms(self):
+        spec = ColorHistogramSpec(n_images=3000)
+        return generate_color_histograms(spec, np.random.default_rng(7)), spec
+
+    def test_shape(self, histograms):
+        data, spec = histograms
+        assert data.shape == (3000, 64)
+
+    def test_rows_are_histograms(self, histograms):
+        data, _ = histograms
+        assert np.all(data >= 0)
+        assert np.allclose(data.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_many_exact_zeros(self, histograms):
+        """The Corel property §6.1 leans on: 'many attributes being 0'."""
+        data, _ = histograms
+        zero_fraction = (data == 0.0).mean()
+        assert zero_fraction > 0.5
+
+    def test_skewed_toward_few_colors(self, histograms):
+        """'Color histograms tend to be very skewed towards a small set of
+        colors': the top 8 bins of each image carry most of the mass."""
+        data, _ = histograms
+        top8 = np.sort(data, axis=1)[:, -8:].sum(axis=1)
+        assert np.median(top8) > 0.8
+
+    def test_images_form_themes(self, histograms):
+        """Loose local correlation exists: nearest neighbors share dominant
+        bins far more often than random pairs."""
+        data, _ = histograms
+        rng = np.random.default_rng(0)
+        idx = rng.choice(3000, 200, replace=False)
+        sample = data[idx]
+        dists = np.linalg.norm(
+            sample[:, None, :] - sample[None, :, :], axis=2
+        )
+        np.fill_diagonal(dists, np.inf)
+        nn = np.argmin(dists, axis=1)
+        def dominant(row):
+            return set(np.argsort(row)[-4:].tolist())
+        overlaps = [
+            len(dominant(sample[i]) & dominant(sample[nn[i]]))
+            for i in range(200)
+        ]
+        random_pairs = [
+            len(dominant(sample[i]) & dominant(sample[(i + 97) % 200]))
+            for i in range(200)
+        ]
+        assert np.mean(overlaps) > np.mean(random_pairs) + 0.5
+
+    def test_deterministic_under_seed(self):
+        spec = ColorHistogramSpec(n_images=100)
+        a = generate_color_histograms(spec, np.random.default_rng(3))
+        b = generate_color_histograms(spec, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_outlier_free_spec(self):
+        spec = ColorHistogramSpec(n_images=200, outlier_fraction=0.0)
+        data = generate_color_histograms(spec, np.random.default_rng(3))
+        assert data.shape == (200, 64)

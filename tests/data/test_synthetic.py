@@ -1,0 +1,192 @@
+"""Appendix-A synthetic data generator (GCD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import projection_distances
+from repro.data.synthetic import (
+    ClusterSpec,
+    SyntheticSpec,
+    generate_correlated_clusters,
+    spec_for_ellipticity,
+)
+from repro.linalg.pca import fit_pca
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0, "s_dim": 2, "s_r_dim": 0, "variance_r": 1, "variance_e": 1, "lb": 0},
+            {"size": 5, "s_dim": 0, "s_r_dim": 0, "variance_r": 1, "variance_e": 1, "lb": 0},
+            {"size": 5, "s_dim": 2, "s_r_dim": -1, "variance_r": 1, "variance_e": 1, "lb": 0},
+            {"size": 5, "s_dim": 2, "s_r_dim": 0, "variance_r": 0, "variance_e": 1, "lb": 0},
+        ],
+    )
+    def test_cluster_spec_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterSpec(**kwargs)
+
+    def test_energy_ratio(self):
+        spec = ClusterSpec(
+            size=10, s_dim=2, s_r_dim=0,
+            variance_r=0.4, variance_e=0.02, lb=0.0,
+        )
+        assert spec.energy_ratio == pytest.approx(20.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_points": 0},
+            {"dimensionality": 0},
+            {"n_clusters": 0},
+            {"noise_fraction": 1.0},
+            {"retained_dims": 100, "dimensionality": 10},
+        ],
+    )
+    def test_synthetic_spec_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticSpec(**kwargs)
+
+    def test_spec_for_ellipticity_maps_definition(self):
+        spec = spec_for_ellipticity(4.0, base_minor=0.02)
+        assert spec.variance_r == pytest.approx(5 * 0.02)
+        with pytest.raises(ValueError):
+            spec_for_ellipticity(-1.0)
+
+
+class TestGeneration:
+    def test_shapes_and_counts(self, rng):
+        spec = SyntheticSpec(
+            n_points=1000, dimensionality=16, n_clusters=3,
+            retained_dims=4, noise_fraction=0.01,
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        assert ds.points.shape == (1000, 16)
+        assert ds.labels.shape == (1000,)
+        assert ds.n_points == 1000
+        assert ds.dimensionality == 16
+        assert set(np.unique(ds.labels)) <= {-1, 0, 1, 2}
+
+    def test_noise_fraction_honored(self, rng):
+        spec = SyntheticSpec(
+            n_points=2000, dimensionality=8, n_clusters=2,
+            retained_dims=2, noise_fraction=0.05,
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        n_noise = int((ds.labels == -1).sum())
+        assert n_noise == pytest.approx(100, abs=5)
+
+    def test_clusters_have_intrinsic_dimensionality(self, rng):
+        """The defining property: each cluster's local PCA shows exactly
+        s_dim strong directions."""
+        spec = SyntheticSpec(
+            n_points=3000, dimensionality=24, n_clusters=2,
+            retained_dims=5, variance_r=0.4, variance_e=0.005,
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        for cluster in range(2):
+            pts = ds.cluster_points(cluster)
+            model = fit_pca(pts)
+            eig = model.eigenvalues
+            # Strong gap between the 5th and 6th eigenvalues.
+            assert eig[4] > eig[5] * 20
+
+    def test_rotation_mixes_coordinates(self, rng):
+        spec = SyntheticSpec(
+            n_points=500, dimensionality=12, n_clusters=1,
+            retained_dims=2, variance_r=0.5, variance_e=0.001,
+            rotate=True,
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        # After rotation the per-axis variance is spread out: no single
+        # original axis holds all the energy.
+        axis_var = ds.points.var(axis=0)
+        assert axis_var.max() < axis_var.sum() * 0.9
+
+    def test_no_rotation_keeps_axes(self, rng):
+        spec = SyntheticSpec(
+            n_points=500, dimensionality=12, n_clusters=1,
+            retained_dims=2, variance_r=0.5, variance_e=0.001,
+            rotate=False,
+            clusters=(
+                ClusterSpec(
+                    size=500, s_dim=2, s_r_dim=3,
+                    variance_r=0.5, variance_e=0.001, lb=0.0,
+                    rotate=False,
+                ),
+            ),
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        axis_var = ds.points.var(axis=0)
+        assert set(np.argsort(axis_var)[-2:].tolist()) == {3, 4}
+
+    def test_center_offset_positions_cluster(self, rng):
+        offset = tuple(float(v) for v in np.full(6, 3.0))
+        spec = SyntheticSpec(
+            n_points=300, dimensionality=6, n_clusters=1,
+            retained_dims=2,
+            clusters=(
+                ClusterSpec(
+                    size=300, s_dim=2, s_r_dim=0,
+                    variance_r=0.2, variance_e=0.01, lb=0.0,
+                    center_offset=offset,
+                ),
+            ),
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        assert np.allclose(ds.points.mean(axis=0), 3.0, atol=0.05)
+
+    def test_center_offset_dimension_mismatch(self, rng):
+        spec = SyntheticSpec(
+            n_points=100, dimensionality=6, n_clusters=1,
+            retained_dims=2,
+            clusters=(
+                ClusterSpec(
+                    size=100, s_dim=2, s_r_dim=0,
+                    variance_r=0.2, variance_e=0.01, lb=0.0,
+                    center_offset=(1.0, 2.0),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError):
+            generate_correlated_clusters(spec, rng)
+
+    def test_points_shuffled(self, rng):
+        spec = SyntheticSpec(
+            n_points=1000, dimensionality=8, n_clusters=2,
+            retained_dims=2,
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        # Labels are not sorted runs: both clusters appear early and late.
+        assert len(set(ds.labels[:50].tolist())) > 1
+
+    def test_deterministic_under_seed(self):
+        spec = SyntheticSpec(n_points=200, dimensionality=8, n_clusters=2)
+        a = generate_correlated_clusters(spec, np.random.default_rng(5))
+        b = generate_correlated_clusters(spec, np.random.default_rng(5))
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_gaussian_distribution_supported(self, rng):
+        spec = SyntheticSpec(
+            n_points=500, dimensionality=8, n_clusters=1,
+            retained_dims=2, distribution="gaussian",
+        )
+        ds = generate_correlated_clusters(spec, rng)
+        assert np.all(np.isfinite(ds.points))
+
+    def test_ellipticity_increases_with_variance_ratio(self, rng):
+        results = []
+        for variance_r in (0.1, 0.5):
+            spec = SyntheticSpec(
+                n_points=2000, dimensionality=10, n_clusters=1,
+                retained_dims=2, variance_r=variance_r,
+                variance_e=0.05,
+            )
+            ds = generate_correlated_clusters(spec, rng)
+            model = fit_pca(ds.points)
+            results.append(
+                projection_distances(ds.points, model, 2).ellipticity
+            )
+        assert results[1] > results[0]

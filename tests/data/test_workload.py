@@ -1,0 +1,56 @@
+"""Query workload sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import QueryWorkload, sample_queries
+
+
+class TestQueryWorkload:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=rng.normal(size=(5, 3)), k=0)
+        with pytest.raises(ValueError):
+            QueryWorkload(queries=rng.normal(size=5), k=10)
+
+    def test_n_queries(self, rng):
+        workload = QueryWorkload(queries=rng.normal(size=(7, 3)), k=10)
+        assert workload.n_queries == 7
+
+
+class TestSampleQueries:
+    def test_points_method_returns_data_rows(self, rng):
+        data = rng.normal(size=(100, 4))
+        workload = sample_queries(data, 20, rng, method="points")
+        for query in workload.queries:
+            assert np.any(np.all(np.isclose(data, query), axis=1))
+
+    def test_perturbed_method_moves_points(self, rng):
+        data = rng.normal(size=(100, 4))
+        workload = sample_queries(
+            data, 20, rng, method="perturbed", perturbation=0.1
+        )
+        exact_hits = sum(
+            bool(np.any(np.all(np.isclose(data, q), axis=1)))
+            for q in workload.queries
+        )
+        assert exact_hits == 0
+
+    def test_oversampling_allowed(self, rng):
+        data = rng.normal(size=(5, 3))
+        workload = sample_queries(data, 50, rng)
+        assert workload.n_queries == 50
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_queries(np.zeros((0, 3)), 5, rng)
+        with pytest.raises(ValueError):
+            sample_queries(rng.normal(size=(10, 3)), 0, rng)
+        with pytest.raises(ValueError):
+            sample_queries(rng.normal(size=(10, 3)), 5, rng, method="bogus")
+
+    def test_deterministic_under_seed(self, rng):
+        data = rng.normal(size=(100, 4))
+        a = sample_queries(data, 10, np.random.default_rng(1))
+        b = sample_queries(data, 10, np.random.default_rng(1))
+        assert np.array_equal(a.queries, b.queries)

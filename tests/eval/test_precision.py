@@ -1,0 +1,141 @@
+"""Precision metric and the KNN reference implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.workload import sample_queries
+from repro.eval.precision import (
+    evaluate_precision,
+    exact_knn,
+    precision_at_k,
+    reduced_knn,
+)
+from repro.reduction.gdr import GDRReducer
+from repro.reduction.mmdr_adapter import MMDRReducer
+
+
+class TestExactKNN:
+    def test_matches_brute_force(self, rng):
+        data = rng.normal(size=(500, 6))
+        queries = rng.normal(size=(8, 6))
+        got = exact_knn(data, queries, 5)
+        for qi, query in enumerate(queries):
+            truth = np.argsort(np.linalg.norm(data - query, axis=1))[:5]
+            assert got[qi].tolist() == truth.tolist()
+
+    def test_nearest_first_ordering(self, rng):
+        data = rng.normal(size=(200, 3))
+        ids = exact_knn(data, data[:1], 10)[0]
+        dists = np.linalg.norm(data[ids] - data[0], axis=1)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_self_is_own_nearest_neighbor(self, rng):
+        data = rng.normal(size=(100, 4))
+        ids = exact_knn(data, data[13:14], 1)
+        assert ids[0, 0] == 13
+
+    def test_k_capped_at_n(self, rng):
+        data = rng.normal(size=(5, 3))
+        assert exact_knn(data, data[:2], 50).shape == (2, 5)
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            exact_knn(rng.normal(size=(5, 3)), rng.normal(size=(1, 3)), 0)
+
+    def test_batching_is_invisible(self, rng):
+        data = rng.normal(size=(300, 4))
+        queries = rng.normal(size=(50, 4))
+        small = exact_knn(data, queries, 7, batch=8)
+        large = exact_knn(data, queries, 7, batch=1000)
+        assert np.array_equal(small, large)
+
+
+class TestPrecisionAtK:
+    def test_perfect_overlap(self):
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        assert precision_at_k(ids, ids) == 1.0
+
+    def test_disjoint(self):
+        a = np.array([[1, 2, 3]])
+        b = np.array([[7, 8, 9]])
+        assert precision_at_k(a, b) == 0.0
+
+    def test_partial_and_order_invariant(self):
+        a = np.array([[1, 2, 3, 4]])
+        b = np.array([[4, 3, 9, 8]])
+        assert precision_at_k(a, b) == pytest.approx(0.5)
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.zeros((2, 3)), np.zeros((3, 3)))
+
+
+class TestReducedKNN:
+    def test_lossless_reduction_perfect_precision(self, rng):
+        """Full-dimensional 'reduction' must reproduce exact KNN."""
+        data = rng.normal(size=(400, 6))
+        red = GDRReducer().reduce(data, rng, target_dim=6)
+        queries = data[:10]
+        truth = exact_knn(data, queries, 5)
+        approx = reduced_knn(red, queries, 5)
+        assert precision_at_k(truth, approx) == 1.0
+
+    def test_lossy_reduction_lower_precision(self, rng):
+        data = rng.normal(size=(400, 10))  # isotropic: reduction hurts
+        red = GDRReducer().reduce(data, rng, target_dim=2)
+        queries = data[:10]
+        truth = exact_knn(data, queries, 5)
+        approx = reduced_knn(red, queries, 5)
+        assert precision_at_k(truth, approx) < 0.9
+
+    def test_outliers_scored_exactly(self, rng, five_cluster_dataset):
+        """Outlier partition keeps full dimensionality: a query that IS an
+        outlier must find itself first."""
+        data = five_cluster_dataset.points
+        red = MMDRReducer().reduce(data, np.random.default_rng(5))
+        if red.outliers.size == 0:
+            pytest.skip("no outliers")
+        outlier_id = int(red.outliers.member_ids[0])
+        approx = reduced_knn(red, data[outlier_id:outlier_id + 1], 1)
+        assert approx[0, 0] == outlier_id
+
+    def test_k_validation(self, rng):
+        data = rng.normal(size=(50, 4))
+        red = GDRReducer().reduce(data, rng, target_dim=2)
+        with pytest.raises(ValueError):
+            reduced_knn(red, data[:1], 0)
+
+
+class TestEvaluatePrecision:
+    def test_report_fields(self, five_cluster_dataset, rng):
+        data = five_cluster_dataset.points
+        red = MMDRReducer().reduce(data, np.random.default_rng(5))
+        workload = sample_queries(data, 15, rng, k=10)
+        report = evaluate_precision(data, red, workload)
+        assert report.method == "MMDR"
+        assert 0.0 <= report.precision <= 1.0
+        assert report.n_queries == 15
+        assert report.k == 10
+        assert report.n_subspaces == red.n_subspaces
+        assert report.mean_reduced_dim == pytest.approx(
+            red.mean_reduced_dim()
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    n=st.integers(min_value=12, max_value=80),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_property_reduced_knn_bounded_by_exact(seed, n, k):
+    """Precision is always within [0, 1], and a lossless reduction always
+    achieves exactly 1."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, 5))
+    red = GDRReducer().reduce(data, rng, target_dim=5)
+    truth = exact_knn(data, data[:3], k)
+    approx = reduced_knn(red, data[:3], k)
+    assert precision_at_k(truth, approx) == 1.0

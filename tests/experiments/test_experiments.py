@@ -1,0 +1,108 @@
+"""Experiment plumbing: scale control, dataset builders, sweep helpers.
+
+These tests exercise the experiment machinery at miniature scale; the
+full-figure runs (and their shape assertions) live under ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.fig7 import PrecisionSweep
+from repro.experiments.fig9 import CostSweep
+from repro.experiments.fig11 import run_fig11a
+from repro.eval.harness import BatchCost
+
+
+class TestScaleControl:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert common.bench_scale().name == "ci"
+
+    def test_full_scale_matches_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        scale = common.bench_scale()
+        assert scale.synthetic_points == 100_000
+        assert scale.colorhist_images == 70_000
+        assert scale.scal_points_max == 1_000_000
+        assert scale.scal_dims_max == 200
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            common.bench_scale()
+
+
+class TestDatasets:
+    def test_synthetic_small_cached(self):
+        a = common.synthetic_small(n_points=2000)
+        b = common.synthetic_small(n_points=2000)
+        assert a is b
+        assert a.shape == (2000, 64)
+
+    def test_workload_shape(self):
+        data = common.synthetic_small(n_points=2000)
+        workload = common.make_workload(data)
+        assert workload.n_queries == common.N_QUERIES
+        assert workload.k == common.K_NEIGHBORS
+
+    def test_overlapping_specs_are_paired(self):
+        rng = np.random.default_rng(0)
+        specs = common.overlapping_cluster_specs(
+            10_000, (4, 4, 6, 6), (1, 1, 1, 1), rng
+        )
+        assert len(specs) == 4
+        # Within a pair the centers nearly coincide; across pairs they do
+        # not.
+        off = [np.asarray(s.center_offset) for s in specs]
+        assert np.linalg.norm(off[0] - off[1]) < 0.3
+        assert np.linalg.norm(off[0] - off[2]) > 0.5
+
+    def test_default_reducers_names(self):
+        reducers = common.default_reducers()
+        assert set(reducers) == {"MMDR", "LDR", "GDR"}
+
+    def test_reduce_with_caches(self):
+        data = common.synthetic_small(n_points=2000)
+        a = common.reduce_with("GDR", data, cache_tag="t")
+        b = common.reduce_with("GDR", data, cache_tag="t")
+        assert a is b
+
+
+class TestSweepStructures:
+    def test_precision_sweep_series_shape(self):
+        sweep = PrecisionSweep(
+            x_label="x",
+            x_values=[1.0, 2.0],
+            series={"MMDR": [0.9, 0.8], "LDR": [0.5, 0.4]},
+        )
+        assert sweep.x_label == "x"
+        assert len(sweep.series["MMDR"]) == 2
+
+    def test_cost_sweep_series_extraction(self):
+        cost = BatchCost(
+            scheme="iMMDR",
+            mean_page_reads=10.0,
+            mean_cpu_seconds=0.1,
+            median_cpu_seconds=0.09,
+            mean_cpu_work=1000.0,
+            mean_distance_computations=50.0,
+            n_queries=5,
+            index_pages=100,
+        )
+        sweep = CostSweep(
+            x_label="dims", x_values=[10], schemes={"iMMDR": [cost]}
+        )
+        assert sweep.series("mean_page_reads") == {"iMMDR": [10.0]}
+        assert sweep.series("mean_cpu_work") == {"iMMDR": [1000.0]}
+
+
+class TestFig11Miniature:
+    def test_fig11a_runs_at_tiny_scale(self):
+        points = run_fig11a(sizes=(1200, 2400), dimensionality=16)
+        assert len(points) == 2
+        assert points[0].n_points == 1200
+        assert points[1].n_points == 2400
+        assert all(p.trt_seconds > 0 for p in points)
+        assert all(p.sequential_page_reads > 0 for p in points)
+        assert all(p.n_subspaces >= 1 for p in points)

@@ -1,0 +1,93 @@
+"""VectorIndex plumbing: QueryStats, KNNResult, measurement wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import KNNResult, QueryStats, VectorIndex
+from repro.storage.metrics import CostSnapshot
+
+
+class TestQueryStats:
+    def test_from_snapshots_diffs(self):
+        before = CostSnapshot(
+            physical_reads=5, distance_computations=10,
+            distance_flops=100, key_comparisons=3, cpu_seconds=1.0,
+        )
+        after = CostSnapshot(
+            physical_reads=9, sequential_reads=2,
+            distance_computations=25, distance_flops=400,
+            key_comparisons=13, cpu_seconds=1.5,
+        )
+        stats = QueryStats.from_snapshots(before, after)
+        assert stats.page_reads == 4 + 2
+        assert stats.distance_computations == 15
+        assert stats.distance_flops == 300
+        assert stats.key_comparisons == 10
+        assert stats.cpu_seconds == pytest.approx(0.5)
+
+    def test_cpu_work_combines_flops_and_keys(self):
+        stats = QueryStats(
+            page_reads=0,
+            distance_computations=5,
+            distance_flops=50,
+            key_comparisons=7,
+            cpu_seconds=0.0,
+        )
+        assert stats.cpu_work == 57
+
+
+class TestKNNResult:
+    def test_shape_mismatch_rejected(self):
+        stats = QueryStats(0, 0, 0, 0, 0.0)
+        with pytest.raises(ValueError):
+            KNNResult(
+                ids=np.arange(3),
+                distances=np.zeros(2),
+                stats=stats,
+            )
+
+    def test_k_property(self):
+        stats = QueryStats(0, 0, 0, 0, 0.0)
+        result = KNNResult(
+            ids=np.arange(7), distances=np.zeros(7), stats=stats
+        )
+        assert result.k == 7
+
+
+class TestMeasurementWrapper:
+    class _Dummy(VectorIndex):
+        name = "dummy"
+
+        def knn(self, query, k):
+            (ids, dists), stats = self._measured(self._work, query, k)
+            return KNNResult(ids=ids, distances=dists, stats=stats)
+
+        def _work(self, query, k):
+            self.counters.count_distance(4, dims=3)
+            self.counters.count_key_comparison(2)
+            page = self.store.allocate("x", 8)
+            self.pool.read(page)
+            return np.arange(k), np.zeros(k)
+
+    def test_measured_diffs_only_the_call(self):
+        index = self._Dummy()
+        index.counters.count_distance(100)  # pre-existing noise
+        result = index.knn(np.zeros(3), 5)
+        assert result.stats.distance_computations == 4
+        assert result.stats.distance_flops == 12
+        assert result.stats.key_comparisons == 2
+        assert result.stats.page_reads == 1
+        assert result.stats.cpu_seconds >= 0.0
+
+    def test_reset_cache_empties_pool(self):
+        index = self._Dummy()
+        index.knn(np.zeros(3), 2)
+        assert len(index.pool) > 0
+        index.reset_cache()
+        assert len(index.pool) == 0
+
+    def test_size_pages_tracks_store(self):
+        index = self._Dummy()
+        assert index.size_pages == 0
+        index.knn(np.zeros(3), 1)
+        assert index.size_pages == 1

@@ -1,0 +1,171 @@
+"""Extended iDistance: construction, exactness, pruning, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.precision import reduced_knn
+from repro.index.idistance import ExtendedIDistance
+from repro.reduction.gdr import GDRReducer
+from repro.reduction.mmdr_adapter import MMDRReducer, model_to_reduced
+
+
+@pytest.fixture(scope="module")
+def reduced(five_cluster_dataset_module):
+    data, _ = five_cluster_dataset_module
+    return data, MMDRReducer().reduce(data, np.random.default_rng(5))
+
+
+@pytest.fixture(scope="module")
+def five_cluster_dataset_module():
+    from repro.data.synthetic import (
+        SyntheticSpec,
+        generate_correlated_clusters,
+    )
+
+    spec = SyntheticSpec(
+        n_points=5000,
+        dimensionality=32,
+        n_clusters=5,
+        retained_dims=8,
+        variance_r=0.25,
+        variance_e=0.015,
+        noise_fraction=0.005,
+    )
+    ds = generate_correlated_clusters(spec, np.random.default_rng(42))
+    return ds.points, ds.labels
+
+
+class TestConstruction:
+    def test_partitions_cover_subspaces_and_outliers(self, reduced):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        expected = red.n_subspaces + (1 if red.outliers.size else 0)
+        assert len(index.partitions) == expected
+
+    def test_stretch_constant_exceeds_radii(self, reduced):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        assert index.c > max(p.max_radius for p in index.partitions)
+
+    def test_tree_holds_every_point(self, reduced):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        assert len(index.tree) == red.n_points
+
+    def test_keys_respect_partition_ranges(self, reduced):
+        """key = i*c + dist puts partition i's keys in [i*c, (i+1)*c)."""
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        for key, rid in index.tree.items():
+            partition = int(key // index.c)
+            assert 0 <= partition < len(index.partitions)
+            offset = key - partition * index.c
+            assert 0 <= offset < index.c
+            assert rid in set(index.partitions[partition].rids.tolist())
+
+
+class TestSearch:
+    def test_exact_under_reduced_scoring(self, reduced):
+        """The expanding-radius search must return exactly the reduced-space
+        KNN for every query (the brute-force reference computes it)."""
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        queries = data[:25]
+        truth = reduced_knn(red, queries, 10)
+        for qi, query in enumerate(queries):
+            result = index.knn(query, 10)
+            assert set(result.ids.tolist()) == set(truth[qi].tolist())
+
+    def test_distances_sorted_ascending(self, reduced):
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        result = index.knn(data[7], 10)
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_k_larger_than_dataset(self, rng):
+        data = rng.normal(size=(30, 6))
+        red = GDRReducer().reduce(data, rng, target_dim=3)
+        index = ExtendedIDistance(red)
+        result = index.knn(data[0], 100)
+        assert result.k == 30
+
+    def test_k_validation(self, reduced):
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        with pytest.raises(ValueError):
+            index.knn(data[0], 0)
+
+    def test_query_far_outside_all_partitions(self, reduced):
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        far = data[0] + 100.0
+        result = index.knn(far, 5)
+        assert result.k == 5
+        assert np.all(np.isfinite(result.distances))
+
+    def test_stats_populated(self, reduced):
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        index.reset_cache()
+        result = index.knn(data[3], 10)
+        assert result.stats.page_reads > 0
+        assert result.stats.distance_computations > 0
+        assert result.stats.key_comparisons > 0
+        assert result.stats.cpu_seconds > 0
+
+    def test_pruning_examines_fraction_of_data(self, reduced):
+        """The whole point of the index: far fewer distance computations
+        than the sequential scan's n."""
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        result = index.knn(data[11], 10)
+        assert result.stats.distance_computations < red.n_points * 0.5
+
+    def test_radius_step_affects_cost_not_result(self, reduced):
+        data, red = reduced
+        coarse = ExtendedIDistance(red, radius_step=1.0)
+        fine = ExtendedIDistance(red, radius_step=0.01)
+        for query in data[:5]:
+            a = coarse.knn(query, 10)
+            b = fine.knn(query, 10)
+            assert set(a.ids.tolist()) == set(b.ids.tolist())
+
+
+class TestIOAccounting:
+    def test_cold_cache_costs_more_than_warm(self, reduced):
+        data, red = reduced
+        index = ExtendedIDistance(red)
+        index.reset_cache()
+        cold = index.knn(data[2], 10).stats.page_reads
+        warm = index.knn(data[2], 10).stats.page_reads
+        assert warm <= cold
+
+    def test_gdr_single_partition_works(self, reduced):
+        data, _ = reduced
+        red = GDRReducer().reduce(data, np.random.default_rng(0), target_dim=8)
+        index = ExtendedIDistance(red)
+        truth = reduced_knn(red, data[:10], 10)
+        for qi, query in enumerate(data[:10]):
+            result = index.knn(query, 10)
+            assert set(result.ids.tolist()) == set(truth[qi].tolist())
+
+    def test_outlier_only_reduction(self, rng):
+        """A degenerate model where everything is an outlier still answers
+        exact KNN (at sequential-ish cost)."""
+        from repro.core.subspace import OutlierSet
+        from repro.reduction.base import ReducedDataset
+
+        data = rng.normal(size=(200, 8))
+        red = ReducedDataset(
+            method="degenerate",
+            subspaces=[],
+            outliers=OutlierSet(
+                member_ids=np.arange(200), points=data
+            ),
+            n_points=200,
+            dimensionality=8,
+        )
+        index = ExtendedIDistance(red)
+        result = index.knn(data[0], 5)
+        true = np.argsort(np.linalg.norm(data - data[0], axis=1))[:5]
+        assert set(result.ids.tolist()) == set(true.tolist())

@@ -1,0 +1,107 @@
+"""Sequential scan and gLDR composite index."""
+
+import numpy as np
+import pytest
+
+from repro.eval.precision import reduced_knn
+from repro.index.global_ldr import GlobalLDRIndex
+from repro.index.seqscan import SequentialScan
+from repro.reduction.ldr import LDRReducer
+from repro.storage.pager import pages_for_vectors
+
+
+@pytest.fixture(scope="module")
+def ldr_reduced():
+    from repro.data.synthetic import (
+        SyntheticSpec,
+        generate_correlated_clusters,
+    )
+
+    spec = SyntheticSpec(
+        n_points=4000,
+        dimensionality=32,
+        n_clusters=4,
+        retained_dims=6,
+        variance_r=0.25,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    ds = generate_correlated_clusters(spec, np.random.default_rng(21))
+    red = LDRReducer().reduce(ds.points, np.random.default_rng(5))
+    return ds.points, red
+
+
+class TestSequentialScan:
+    def test_exact_under_reduced_scoring(self, ldr_reduced):
+        data, red = ldr_reduced
+        scan = SequentialScan(red)
+        truth = reduced_knn(red, data[:15], 10)
+        for qi, query in enumerate(data[:15]):
+            result = scan.knn(query, 10)
+            assert set(result.ids.tolist()) == set(truth[qi].tolist())
+
+    def test_io_is_constant_and_matches_page_math(self, ldr_reduced):
+        data, red = ldr_reduced
+        scan = SequentialScan(red)
+        expected = sum(
+            pages_for_vectors(s.size, s.reduced_dim) for s in red.subspaces
+        ) + pages_for_vectors(red.outliers.size, red.dimensionality)
+        for query in data[:5]:
+            result = scan.knn(query, 10)
+            assert result.stats.page_reads == expected
+
+    def test_distance_computations_equal_n(self, ldr_reduced):
+        data, red = ldr_reduced
+        scan = SequentialScan(red)
+        result = scan.knn(data[0], 10)
+        assert result.stats.distance_computations == red.n_points
+
+    def test_k_validation(self, ldr_reduced):
+        data, red = ldr_reduced
+        with pytest.raises(ValueError):
+            SequentialScan(red).knn(data[0], 0)
+
+
+class TestGlobalLDR:
+    def test_exact_under_reduced_scoring(self, ldr_reduced):
+        data, red = ldr_reduced
+        index = GlobalLDRIndex(red)
+        truth = reduced_knn(red, data[:15], 10)
+        for qi, query in enumerate(data[:15]):
+            result = index.knn(query, 10)
+            assert set(result.ids.tolist()) == set(truth[qi].tolist())
+
+    def test_one_tree_per_subspace(self, ldr_reduced):
+        _, red = ldr_reduced
+        index = GlobalLDRIndex(red)
+        assert len(index.trees) == red.n_subspaces
+
+    def test_outlier_pages_charged_every_query(self, ldr_reduced):
+        data, red = ldr_reduced
+        index = GlobalLDRIndex(red)
+        if red.outliers.size == 0:
+            pytest.skip("reduction produced no outliers")
+        result = index.knn(data[0], 10)
+        assert result.stats.page_reads >= index.outlier_pages
+
+    def test_agrees_with_seqscan(self, ldr_reduced):
+        data, red = ldr_reduced
+        gldr = GlobalLDRIndex(red)
+        scan = SequentialScan(red)
+        for query in data[:10]:
+            a = gldr.knn(query, 10)
+            b = scan.knn(query, 10)
+            assert set(a.ids.tolist()) == set(b.ids.tolist())
+
+    def test_prunes_relative_to_scan(self, ldr_reduced):
+        data, red = ldr_reduced
+        gldr = GlobalLDRIndex(red)
+        result = gldr.knn(data[0], 10)
+        # Hybrid trees must not score every stored vector.
+        scored = result.stats.distance_computations
+        assert scored < red.n_points
+
+    def test_k_validation(self, ldr_reduced):
+        data, red = ldr_reduced
+        with pytest.raises(ValueError):
+            GlobalLDRIndex(red).knn(data[0], -1)

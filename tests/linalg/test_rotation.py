@@ -1,0 +1,74 @@
+"""Random orthonormal rotations (Appendix A substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.rotation import is_orthonormal, random_orthonormal
+
+
+class TestRandomOrthonormal:
+    def test_rejects_bad_dimensionality(self, rng):
+        with pytest.raises(ValueError):
+            random_orthonormal(0, rng)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 8, 32])
+    def test_is_orthonormal(self, d, rng):
+        assert is_orthonormal(random_orthonormal(d, rng))
+
+    def test_determinant_is_unit(self, rng):
+        for _ in range(5):
+            m = random_orthonormal(6, rng)
+            assert abs(abs(np.linalg.det(m)) - 1.0) < 1e-9
+
+    def test_preserves_norms(self, rng):
+        m = random_orthonormal(10, rng)
+        pts = rng.normal(size=(50, 10))
+        assert np.allclose(
+            np.linalg.norm(pts @ m, axis=1),
+            np.linalg.norm(pts, axis=1),
+        )
+
+    def test_deterministic_under_seed(self):
+        a = random_orthonormal(5, np.random.default_rng(9))
+        b = random_orthonormal(5, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_distribution_not_axis_biased(self):
+        """Haar-ish sanity: the first basis vector's first coordinate is
+        not systematically positive (the QR sign fix matters here)."""
+        rng = np.random.default_rng(123)
+        firsts = [random_orthonormal(4, rng)[0, 0] for _ in range(300)]
+        assert -0.2 < np.mean(firsts) < 0.2
+
+
+class TestIsOrthonormal:
+    def test_identity(self):
+        assert is_orthonormal(np.eye(4))
+
+    def test_scaled_identity_rejected(self):
+        assert not is_orthonormal(2.0 * np.eye(4))
+
+    def test_non_square_rejected(self):
+        assert not is_orthonormal(np.ones((3, 4)))
+
+    def test_tolerance_respected(self):
+        near = np.eye(3) + 1e-12
+        assert is_orthonormal(near)
+        off = np.eye(3) + 1e-3
+        assert not is_orthonormal(off)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_rotations_preserve_distances(d, seed):
+    rng = np.random.default_rng(seed)
+    m = random_orthonormal(d, rng)
+    a, b = rng.normal(size=(2, d))
+    before = np.linalg.norm(a - b)
+    after = np.linalg.norm(a @ m - b @ m)
+    assert after == pytest.approx(before, rel=1e-9, abs=1e-12)

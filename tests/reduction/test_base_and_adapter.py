@@ -1,0 +1,124 @@
+"""ReducedDataset invariants, retargeting, and the MMDR adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.subspace import OutlierSet
+from repro.reduction.base import ReducedDataset, retarget_dimensionality
+from repro.reduction.gdr import GDRReducer
+from repro.reduction.mmdr_adapter import MMDRReducer, model_to_reduced
+from repro.core.mmdr import MMDR
+
+
+class TestReducedDataset:
+    def test_coverage_must_be_exact(self, rng):
+        red = GDRReducer().reduce(rng.normal(size=(50, 6)), rng, target_dim=2)
+        with pytest.raises(ValueError):
+            ReducedDataset(
+                method="broken",
+                subspaces=red.subspaces,
+                outliers=red.outliers,
+                n_points=51,  # one point unaccounted for
+                dimensionality=6,
+            )
+
+    def test_mean_reduced_dim_weighted(self, rng):
+        data = rng.normal(size=(100, 8))
+        red = GDRReducer().reduce(data, rng, target_dim=3)
+        assert red.mean_reduced_dim() == pytest.approx(3.0)
+
+    def test_mean_reduced_dim_counts_outliers_at_full_d(
+        self, five_cluster_dataset
+    ):
+        red = MMDRReducer().reduce(
+            five_cluster_dataset.points, np.random.default_rng(5)
+        )
+        if red.outliers.size == 0:
+            pytest.skip("no outliers in this reduction")
+        manual = (
+            sum(s.size * s.reduced_dim for s in red.subspaces)
+            + red.outliers.size * red.dimensionality
+        ) / red.n_points
+        assert red.mean_reduced_dim() == pytest.approx(manual)
+
+    def test_labels_match_membership(self, five_cluster_dataset):
+        red = MMDRReducer().reduce(
+            five_cluster_dataset.points, np.random.default_rng(5)
+        )
+        labels = red.labels()
+        for idx, subspace in enumerate(red.subspaces):
+            assert np.all(labels[subspace.member_ids] == idx)
+        assert np.all(labels[red.outliers.member_ids] == -1)
+
+
+class TestRetarget:
+    def test_membership_preserved(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        base = MMDRReducer().reduce(data, np.random.default_rng(5))
+        red = retarget_dimensionality(data, base, 4)
+        for a, b in zip(base.subspaces, red.subspaces):
+            assert np.array_equal(a.member_ids, b.member_ids)
+        assert np.array_equal(
+            base.outliers.member_ids, red.outliers.member_ids
+        )
+
+    def test_dimensionality_pinned(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        base = MMDRReducer().reduce(data, np.random.default_rng(5))
+        for target in (2, 6, 12):
+            red = retarget_dimensionality(data, base, target)
+            assert all(d == target for d in red.reduced_dims())
+
+    def test_target_above_d_capped(self, rng):
+        data = rng.normal(size=(100, 6))
+        base = GDRReducer().reduce(data, rng, target_dim=3)
+        red = retarget_dimensionality(data, base, 50)
+        assert red.reduced_dims() == [6]
+
+    def test_bad_target_rejected(self, rng):
+        data = rng.normal(size=(50, 4))
+        base = GDRReducer().reduce(data, rng, target_dim=2)
+        with pytest.raises(ValueError):
+            retarget_dimensionality(data, base, 0)
+
+    def test_more_dims_lower_mpe(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        base = MMDRReducer().reduce(data, np.random.default_rng(5))
+        narrow = retarget_dimensionality(data, base, 2)
+        wide = retarget_dimensionality(data, base, 10)
+        for n_sub, w_sub in zip(narrow.subspaces, wide.subspaces):
+            assert w_sub.mpe <= n_sub.mpe + 1e-12
+
+
+class TestMMDRAdapter:
+    def test_model_to_reduced_roundtrip(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        model = MMDR().fit(data, np.random.default_rng(5))
+        red = model_to_reduced(model)
+        assert red.method == "MMDR"
+        assert red.n_points == model.n_points
+        assert red.n_subspaces == model.n_subspaces
+        assert "fit_seconds" in red.info
+
+    def test_target_dim_caps_subspaces(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        red = MMDRReducer().reduce(
+            data, np.random.default_rng(5), target_dim=3
+        )
+        assert all(d <= 3 for d in red.reduced_dims())
+
+    def test_scalable_flag_uses_streaming(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        red = MMDRReducer(scalable=True).reduce(
+            data, np.random.default_rng(5)
+        )
+        assert red.n_subspaces >= 1
+        assert red.method == "MMDR"
+
+    def test_bad_target_dim(self, five_cluster_dataset):
+        with pytest.raises(ValueError):
+            MMDRReducer().reduce(
+                five_cluster_dataset.points,
+                np.random.default_rng(5),
+                target_dim=0,
+            )

@@ -1,0 +1,70 @@
+"""GDR baseline: one global PCA subspace."""
+
+import numpy as np
+import pytest
+
+from repro.reduction.gdr import GDRReducer
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            GDRReducer(variance_target=0.0)
+        with pytest.raises(ValueError):
+            GDRReducer(variance_target=1.5)
+        with pytest.raises(ValueError):
+            GDRReducer(max_dim=0)
+
+    def test_empty_data(self, rng):
+        with pytest.raises(ValueError):
+            GDRReducer().reduce(np.zeros((0, 4)), rng)
+
+    def test_bad_target_dim(self, rng):
+        with pytest.raises(ValueError):
+            GDRReducer().reduce(rng.normal(size=(10, 4)), rng, target_dim=0)
+
+
+class TestReduction:
+    def test_single_subspace_no_outliers(self, rng):
+        data = rng.normal(size=(500, 16))
+        red = GDRReducer().reduce(data, rng, target_dim=4)
+        assert red.n_subspaces == 1
+        assert red.outliers.size == 0
+        assert red.subspaces[0].size == 500
+
+    def test_target_dim_respected(self, rng):
+        data = rng.normal(size=(200, 10))
+        for target in (1, 5, 10, 15):
+            red = GDRReducer().reduce(data, rng, target_dim=target)
+            assert red.subspaces[0].reduced_dim == min(target, 10)
+
+    def test_auto_dim_by_variance_target(self, rng):
+        # Two dominant directions carry ~99% of variance.
+        data = rng.normal(0, [10, 8, 0.1, 0.1, 0.1, 0.1], (2000, 6))
+        red = GDRReducer(variance_target=0.95).reduce(data, rng)
+        assert red.subspaces[0].reduced_dim == 2
+
+    def test_auto_dim_capped_by_max_dim(self, rng):
+        data = rng.normal(size=(500, 30))  # isotropic: wants many dims
+        red = GDRReducer(variance_target=0.99, max_dim=5).reduce(data, rng)
+        assert red.subspaces[0].reduced_dim == 5
+
+    def test_projections_match_subspace_transform(self, rng):
+        data = rng.normal(size=(100, 8))
+        red = GDRReducer().reduce(data, rng, target_dim=3)
+        subspace = red.subspaces[0]
+        assert np.allclose(subspace.project(data), subspace.projections)
+
+    def test_globally_correlated_data_tiny_mpe(self, rng):
+        line = rng.normal(size=(300, 1)) @ rng.normal(size=(1, 12))
+        noisy = line + rng.normal(0, 1e-4, line.shape)
+        red = GDRReducer().reduce(noisy, rng, target_dim=1)
+        assert red.subspaces[0].mpe < 1e-2
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(100, 6))
+        r1 = GDRReducer().reduce(data, np.random.default_rng(1), target_dim=2)
+        r2 = GDRReducer().reduce(data, np.random.default_rng(99), target_dim=2)
+        assert np.allclose(
+            r1.subspaces[0].projections, r2.subspaces[0].projections
+        )

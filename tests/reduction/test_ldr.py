@@ -1,0 +1,111 @@
+"""LDR baseline: Euclidean clusters + per-cluster PCA + greedy cover."""
+
+import numpy as np
+import pytest
+
+from repro.reduction.ldr import LDRReducer
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_clusters": 0},
+            {"max_recon_dist": 0.0},
+            {"frac_points": 0.0},
+            {"frac_points": 1.5},
+            {"max_dim": 0},
+            {"min_cluster_size": 1},
+            {"recluster_iterations": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            LDRReducer(**kwargs)
+
+    def test_empty_data(self, rng):
+        with pytest.raises(ValueError):
+            LDRReducer().reduce(np.zeros((0, 4)), rng)
+
+    def test_bad_target_dim(self, rng):
+        with pytest.raises(ValueError):
+            LDRReducer().reduce(rng.normal(size=(100, 4)), rng, target_dim=0)
+
+
+class TestReduction:
+    def test_covers_every_point_once(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        red = LDRReducer().reduce(data, np.random.default_rng(5))
+        seen = np.zeros(red.n_points, dtype=int)
+        for subspace in red.subspaces:
+            seen[subspace.member_ids] += 1
+        seen[red.outliers.member_ids] += 1
+        assert np.all(seen == 1)
+
+    def test_finds_separated_clusters(self, five_cluster_dataset):
+        ds = five_cluster_dataset
+        red = LDRReducer().reduce(ds.points, np.random.default_rng(5))
+        assert 2 <= red.n_subspaces <= 10
+        # Most points are represented, not outliers.
+        assert red.outliers.size < ds.points.shape[0] * 0.3
+
+    def test_members_reconstruct_within_bound(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        reducer = LDRReducer(max_recon_dist=0.1)
+        red = reducer.reduce(data, np.random.default_rng(5))
+        for subspace in red.subspaces:
+            residuals = subspace.proj_dist_r(data[subspace.member_ids])
+            assert np.all(residuals <= 0.1 + 1e-9)
+
+    def test_target_dim_pins_every_cluster(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        red = LDRReducer().reduce(
+            data, np.random.default_rng(5), target_dim=4
+        )
+        assert all(d == 4 for d in red.reduced_dims())
+
+    def test_tighter_bound_more_outliers(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        loose = LDRReducer(max_recon_dist=0.3).reduce(
+            data, np.random.default_rng(5)
+        )
+        tight = LDRReducer(max_recon_dist=0.02).reduce(
+            data, np.random.default_rng(5)
+        )
+        assert tight.outliers.size >= loose.outliers.size
+
+    def test_max_clusters_respected(self, five_cluster_dataset):
+        data = five_cluster_dataset.points
+        red = LDRReducer(max_clusters=3).reduce(
+            data, np.random.default_rng(5)
+        )
+        assert red.n_subspaces <= 3
+
+    def test_greedy_cover_prefers_covering_clusters(self, rng):
+        """A single elongated cluster: the reclustering loop should
+        consolidate coverage into few subspaces rather than keep all ten
+        k-means cells."""
+        data = rng.normal(0, [2.0] * 3 + [0.01] * 9, (3000, 12))
+        red = LDRReducer().reduce(data, rng)
+        # Consolidation: the largest subspace dominates.
+        largest = max(s.size for s in red.subspaces)
+        assert largest > 1000
+
+    def test_uses_euclidean_clustering_not_orientation(self, rng):
+        """LDR's known blind spot (paper Figure 1): two co-centered
+        differently-oriented ellipsoids are not separated by Euclidean
+        k-means, so at least one LDR subspace mixes them."""
+        a = rng.normal(0, [5, 1, 0.05, 0.05, 0.05], (1000, 5))
+        b = rng.normal(0, [1, 5, 0.05, 0.05, 0.05], (1000, 5))
+        data = np.vstack([a, b])
+        truth = np.repeat([0, 1], 1000)
+        red = LDRReducer(min_cluster_size=50).reduce(
+            data, np.random.default_rng(4)
+        )
+        mixed = False
+        for subspace in red.subspaces:
+            labels = truth[subspace.member_ids]
+            _, counts = np.unique(labels, return_counts=True)
+            if counts.size > 1 and counts.min() / counts.sum() > 0.2:
+                mixed = True
+        assert mixed

@@ -1,0 +1,105 @@
+"""BufferPool LRU behaviour and I/O accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.metrics import CostCounters
+from repro.storage.pager import PageStore
+
+
+def make_pool(capacity=3, n_pages=10):
+    counters = CostCounters()
+    store = PageStore(counters)
+    pids = [store.allocate(f"payload-{i}", 8) for i in range(n_pages)]
+    return BufferPool(store, capacity, counters), pids, counters
+
+
+class TestBasics:
+    def test_capacity_must_be_positive(self):
+        store = PageStore()
+        with pytest.raises(ValueError):
+            BufferPool(store, 0)
+
+    def test_first_read_misses_then_hits(self):
+        pool, pids, c = make_pool()
+        assert pool.read(pids[0]) == "payload-0"
+        assert (c.logical_reads, c.physical_reads) == (1, 1)
+        assert pool.read(pids[0]) == "payload-0"
+        assert (c.logical_reads, c.physical_reads) == (2, 1)
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_hit_rate(self):
+        pool, pids, _ = make_pool()
+        assert pool.hit_rate == 0.0
+        pool.read(pids[0])
+        pool.read(pids[0])
+        assert pool.hit_rate == 0.5
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        pool, pids, c = make_pool(capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[1])
+        pool.read(pids[0])  # 0 is now most recent
+        pool.read(pids[2])  # evicts 1
+        assert pids[1] not in pool
+        assert pids[0] in pool
+        pool.read(pids[1])  # miss again
+        assert c.physical_reads == 4
+
+    def test_capacity_never_exceeded(self):
+        pool, pids, _ = make_pool(capacity=3)
+        for pid in pids:
+            pool.read(pid)
+        assert len(pool) == 3
+
+    def test_invalidate_forces_reread(self):
+        pool, pids, c = make_pool()
+        pool.read(pids[0])
+        pool.invalidate(pids[0])
+        pool.read(pids[0])
+        assert c.physical_reads == 2
+
+    def test_clear_empties_pool(self):
+        pool, pids, _ = make_pool()
+        pool.read(pids[0])
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestSimulatedWorkloads:
+    def test_sequential_scan_of_large_set_misses_every_page(self):
+        pool, pids, c = make_pool(capacity=3, n_pages=10)
+        for _ in range(2):
+            for pid in pids:
+                pool.read(pid)
+        # Working set (10) exceeds capacity (3): LRU gives zero reuse.
+        assert c.physical_reads == 20
+
+    def test_working_set_within_capacity_is_free_after_warmup(self):
+        pool, pids, c = make_pool(capacity=5, n_pages=4)
+        for _ in range(3):
+            for pid in pids[:4]:
+                pool.read(pid)
+        assert c.physical_reads == 4
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=9), min_size=1, max_size=60
+        ),
+    )
+    def test_property_counters_consistent(self, capacity, accesses):
+        pool, pids, c = make_pool(capacity=capacity, n_pages=10)
+        for idx in accesses:
+            pool.read(pids[idx])
+        assert c.logical_reads == len(accesses)
+        assert pool.hits + pool.misses == len(accesses)
+        assert c.physical_reads == pool.misses
+        # Every distinct page misses at least once.
+        assert c.physical_reads >= len(set(accesses)) > 0
+        assert len(pool) <= capacity

@@ -1,0 +1,101 @@
+"""CostCounters / CostSnapshot behaviour."""
+
+import time
+
+import pytest
+
+from repro.storage.metrics import CostCounters, CostSnapshot
+
+
+class TestCounting:
+    def test_initial_state_is_zero(self):
+        c = CostCounters()
+        snap = c.snapshot()
+        assert snap.logical_reads == 0
+        assert snap.physical_reads == 0
+        assert snap.page_writes == 0
+        assert snap.sequential_reads == 0
+        assert snap.distance_computations == 0
+        assert snap.distance_flops == 0
+        assert snap.key_comparisons == 0
+        assert snap.cpu_seconds == 0.0
+
+    def test_each_counter_increments(self):
+        c = CostCounters()
+        c.count_logical_read(3)
+        c.count_physical_read(2)
+        c.count_page_write(4)
+        c.count_sequential_read(5)
+        c.count_key_comparison(7)
+        assert c.logical_reads == 3
+        assert c.physical_reads == 2
+        assert c.page_writes == 4
+        assert c.sequential_reads == 5
+        assert c.key_comparisons == 7
+
+    def test_distance_counts_and_flops(self):
+        c = CostCounters()
+        c.count_distance(10, dims=8)
+        c.count_distance(5)  # default dims=1
+        assert c.distance_computations == 15
+        assert c.distance_flops == 10 * 8 + 5
+
+    def test_reset_zeroes_everything(self):
+        c = CostCounters()
+        c.count_logical_read()
+        c.count_distance(3, dims=4)
+        c.count_key_comparison()
+        c.reset()
+        assert c.snapshot() == CostSnapshot()
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        c = CostCounters()
+        c.count_physical_read(2)
+        snap = c.snapshot()
+        c.count_physical_read(5)
+        assert snap.physical_reads == 2
+
+    def test_snapshot_difference(self):
+        c = CostCounters()
+        c.count_physical_read(2)
+        c.count_distance(3, dims=2)
+        before = c.snapshot()
+        c.count_physical_read(4)
+        c.count_sequential_read(1)
+        diff = c.snapshot() - before
+        assert diff.physical_reads == 4
+        assert diff.sequential_reads == 1
+        assert diff.distance_computations == 0
+        assert diff.distance_flops == 0
+
+    def test_total_page_reads_combines_random_and_sequential(self):
+        snap = CostSnapshot(physical_reads=3, sequential_reads=4)
+        assert snap.total_page_reads == 7
+
+
+class TestCpuTimer:
+    def test_timer_accumulates(self):
+        c = CostCounters()
+        with c.cpu_timer():
+            time.sleep(0.01)
+        assert c.cpu_seconds >= 0.009
+
+    def test_nested_timer_counts_once(self):
+        c = CostCounters()
+        with c.cpu_timer():
+            with c.cpu_timer():
+                time.sleep(0.01)
+        # Not double-counted: well under 2x the sleep.
+        assert c.cpu_seconds < 0.018
+
+    def test_timer_survives_exceptions(self):
+        c = CostCounters()
+        with pytest.raises(ValueError):
+            with c.cpu_timer():
+                raise ValueError("boom")
+        # Depth restored: a later timed block still accumulates.
+        with c.cpu_timer():
+            time.sleep(0.005)
+        assert c.cpu_seconds >= 0.004

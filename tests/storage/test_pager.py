@@ -1,0 +1,116 @@
+"""PageStore and page-size arithmetic."""
+
+import pytest
+
+from repro.storage.pager import (
+    FLOAT_SIZE,
+    PAGE_SIZE,
+    Page,
+    PageOverflowError,
+    PageStore,
+    pages_for_vectors,
+    vector_bytes,
+)
+
+
+class TestSizeArithmetic:
+    def test_vector_bytes(self):
+        assert vector_bytes(0) == 0
+        assert vector_bytes(1) == FLOAT_SIZE
+        assert vector_bytes(64) == 64 * FLOAT_SIZE
+
+    def test_vector_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vector_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "count,dim,expected",
+        [
+            (0, 10, 0),
+            (1, 10, 1),
+            (102, 10, 1),  # 4096 // 40 = 102 vectors fit one page
+            (103, 10, 2),
+            (1000, 1024, 1000),  # one vector per page when vectors are fat
+            (5, 0, 1),  # zero-width vectors still occupy one page
+        ],
+    )
+    def test_pages_for_vectors(self, count, dim, expected):
+        assert pages_for_vectors(count, dim) == expected
+
+    def test_pages_for_vectors_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            pages_for_vectors(-1, 4)
+
+
+class TestPage:
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(PageOverflowError):
+            Page(0, "x", PAGE_SIZE + 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Page(0, "x", -1)
+
+    def test_exact_fit_allowed(self):
+        page = Page(0, "x", PAGE_SIZE)
+        assert page.size_bytes == PAGE_SIZE
+
+
+class TestPageStore:
+    def test_allocate_returns_distinct_ids(self):
+        store = PageStore()
+        ids = [store.allocate(i, 10) for i in range(5)]
+        assert len(set(ids)) == 5
+        assert len(store) == 5
+
+    def test_allocate_counts_write(self):
+        store = PageStore()
+        store.allocate("a", 10)
+        assert store.counters.page_writes == 1
+
+    def test_fetch_returns_payload_without_read_accounting(self):
+        store = PageStore()
+        pid = store.allocate({"k": 1}, 10)
+        page = store.fetch(pid)
+        assert page.payload == {"k": 1}
+        assert store.counters.logical_reads == 0
+        assert store.counters.physical_reads == 0
+
+    def test_fetch_unknown_page_raises(self):
+        store = PageStore()
+        with pytest.raises(KeyError):
+            store.fetch(99)
+
+    def test_read_sequential_counts(self):
+        store = PageStore()
+        pid = store.allocate("x", 1)
+        store.read_sequential(pid)
+        assert store.counters.sequential_reads == 1
+
+    def test_overwrite_replaces_payload_and_counts(self):
+        store = PageStore()
+        pid = store.allocate("old", 5)
+        store.overwrite(pid, "new", 7)
+        assert store.fetch(pid).payload == "new"
+        assert store.counters.page_writes == 2
+
+    def test_overwrite_unknown_page_raises(self):
+        store = PageStore()
+        with pytest.raises(KeyError):
+            store.overwrite(3, "x", 1)
+
+    def test_free_releases_page(self):
+        store = PageStore()
+        pid = store.allocate("x", 1)
+        store.free(pid)
+        assert pid not in store
+        assert store.allocated_pages == 0
+        with pytest.raises(KeyError):
+            store.free(pid)
+
+    def test_freed_ids_are_not_reused(self):
+        store = PageStore()
+        first = store.allocate("a", 1)
+        store.free(first)
+        second = store.allocate("b", 1)
+        assert second != first
