@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Trace demo: instrument an MMDR fit + a KNN query batch end to end.
+
+Run:
+    python examples/trace_demo.py [--points 4000] [--dims 32] \
+                                  [--out trace.jsonl]
+
+The script fits MMDR with a tracer attached (per-level Generate-Ellipsoid
+spans, per-iteration elliptical k-means spans with activity-counter freeze
+counts, Dimensionality-Optimization phase timing), builds the extended
+iDistance, runs a query workload with the same tracer (per-radius-expansion
+and per-partition-probe spans, each carrying its own page-read delta), then
+writes everything to a JSONL trace and prints the aggregated per-span
+report.  Inspect the file later with:
+
+    python -m repro.obs.report trace.jsonl
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import MMDR, ExtendedIDistance, Tracer
+from repro.data import SyntheticSpec, generate_correlated_clusters
+from repro.data.workload import sample_queries
+from repro.eval.harness import run_query_batch
+from repro.obs.export import read_jsonl
+from repro.obs.report import render_report
+from repro.reduction import model_to_reduced
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=4000)
+    parser.add_argument("--dims", type=int, default=32)
+    parser.add_argument("--clusters", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="trace.jsonl")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    spec = SyntheticSpec(
+        n_points=args.points,
+        dimensionality=args.dims,
+        n_clusters=args.clusters,
+        retained_dims=6,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.005,
+    )
+    dataset = generate_correlated_clusters(spec, rng)
+    print(
+        f"dataset: {dataset.n_points} points x {dataset.dimensionality} "
+        f"dims, {args.clusters} hidden clusters"
+    )
+
+    tracer = Tracer()
+
+    # --- traced MMDR fit ----------------------------------------------
+    model = MMDR().fit(dataset.points, rng, tracer=tracer)
+    print(
+        f"MMDR: {model.n_subspaces} subspaces, dims {model.reduced_dims()},"
+        f" coverage {model.coverage():.1%}, {len(tracer.spans)} spans so far"
+    )
+
+    # --- traced query batch -------------------------------------------
+    index = ExtendedIDistance(model_to_reduced(model))
+    workload = sample_queries(
+        dataset.points, args.queries, rng, k=10
+    )
+    cost = run_query_batch(index, workload, tracer=tracer)
+    print(
+        f"batch: {cost.n_queries} queries, {cost.mean_page_reads:.1f} mean "
+        f"page reads, {cost.mean_distance_computations:.0f} mean distance "
+        f"computations"
+    )
+
+    # --- export + report ----------------------------------------------
+    n_records = tracer.export_jsonl(args.out)
+    print(f"\nwrote {n_records} records to {args.out}\n")
+    print(render_report(read_jsonl(args.out)))
+
+
+if __name__ == "__main__":
+    main()

@@ -49,6 +49,7 @@ from .index import (
     SequentialScan,
 )
 from .linalg import ClusterShape, PCAModel, fit_pca
+from .obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 from .reduction import (
     GDRReducer,
     LDRReducer,
@@ -74,8 +75,12 @@ __all__ = [
     "MMDRConfig",
     "MMDRModel",
     "MMDRReducer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
     "OutlierSet",
     "PCAModel",
+    "Tracer",
     "ReducedDataset",
     "Reducer",
     "ScalableMMDR",

@@ -36,6 +36,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..linalg.mahalanobis import ClusterShape, Normalization
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.metrics import CostCounters
 from .kmeans import kmeans_pp_seeds
 from .lookup import CentroidLookupTable
@@ -125,24 +126,42 @@ class EllipticalKMeans:
         data: np.ndarray,
         rng: np.random.Generator,
         counters: Optional[CostCounters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> EllipticalKMeansResult:
         """Cluster ``(n, d)`` data; all randomness flows through ``rng``.
 
         Runs ``n_init`` independent restarts and keeps the solution with
-        the lowest total normalized Mahalanobis distance.
+        the lowest total normalized Mahalanobis distance.  ``tracer``
+        (optional) records a ``kmeans.fit`` span with nested per-iteration
+        spans; it never influences the clustering itself.
         """
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
-        n, _ = data.shape
+        n, d = data.shape
         if n == 0:
             raise ValueError("cannot cluster an empty dataset")
+        tracer = ensure_tracer(tracer)
         best: Optional[EllipticalKMeansResult] = None
         best_cost = np.inf
-        for _ in range(self.n_init):
-            result = self._fit_once(data, rng, counters)
-            cost = self._total_cost(data, result, counters)
-            if cost < best_cost:
-                best, best_cost = result, cost
-        assert best is not None
+        with tracer.span(
+            "kmeans.fit",
+            counters=counters,
+            n_points=n,
+            dims=d,
+            n_clusters=self.n_clusters,
+        ) as fit_span:
+            for _ in range(self.n_init):
+                result = self._fit_once(data, rng, counters, tracer)
+                cost = self._total_cost(data, result, counters)
+                if cost < best_cost:
+                    best, best_cost = result, cost
+            assert best is not None
+            if tracer.enabled:
+                fit_span.set(
+                    inner_iterations=best.inner_iterations,
+                    outer_iterations=best.outer_iterations,
+                    converged=best.converged,
+                    final_clusters=best.n_clusters,
+                )
         return best
 
     def _total_cost(
@@ -169,6 +188,7 @@ class EllipticalKMeans:
         data: np.ndarray,
         rng: np.random.Generator,
         counters: Optional[CostCounters] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> EllipticalKMeansResult:
         n, d = data.shape
         centroids = kmeans_pp_seeds(data, self.n_clusters, rng)
@@ -192,20 +212,40 @@ class EllipticalKMeans:
         outer_round = 0
         converged = False
         for outer_round in range(1, self.max_outer_iterations + 1):
-            labels, shapes, inner_done, outer_changes = self._inner_loop(
-                data, labels, shapes, table, counters
-            )
-            total_inner += inner_done
-            if outer_changes == 0 and outer_round > 1:
-                converged = True
-                break
-            refitted = self._refit_covariances(data, labels, shapes)
-            if refitted is None:
-                # No cluster has enough mass to refit; keep current shapes.
-                converged = True
-                break
-            shapes = refitted
-            table.invalidate()  # shapes moved: cached candidates are stale
+            # One span per outer round: inner assignment sweeps plus the
+            # covariance refit, annotated with the activity-counter freeze
+            # count so the §4.2 optimization's reach is visible per round.
+            with tracer.span(
+                "kmeans.outer_iteration",
+                counters=counters,
+                round=outer_round,
+            ) as outer_span:
+                labels, shapes, inner_done, outer_changes = self._inner_loop(
+                    data, labels, shapes, table, counters, tracer
+                )
+                total_inner += inner_done
+                if tracer.enabled:
+                    frozen = n - int(np.count_nonzero(table.active_mask()))
+                    outer_span.set(
+                        inner_iterations=inner_done,
+                        changes=outer_changes,
+                        frozen_points=frozen,
+                        clusters=len(shapes),
+                    )
+                    tracer.gauge("kmeans.frozen_points").set(frozen)
+                    tracer.gauge("kmeans.frozen_fraction").set(
+                        table.inactive_fraction
+                    )
+                if outer_changes == 0 and outer_round > 1:
+                    converged = True
+                    break
+                refitted = self._refit_covariances(data, labels, shapes)
+                if refitted is None:
+                    # No cluster has enough mass to refit; keep shapes.
+                    converged = True
+                    break
+                shapes = refitted
+                table.invalidate()  # shapes moved: cached candidates stale
 
         return EllipticalKMeansResult(
             labels=labels,
@@ -227,6 +267,7 @@ class EllipticalKMeans:
         shapes: List[ClusterShape],
         table: CentroidLookupTable,
         counters: Optional[CostCounters],
+        tracer: Tracer = NULL_TRACER,
     ):
         n = data.shape[0]
         total_changes = 0
@@ -241,18 +282,30 @@ class EllipticalKMeans:
             if rows.size == 0:
                 break
 
-            new_for_rows = self._assign(data, rows, labels, shapes, table, counters)
-            changed = new_for_rows != labels[rows]
-            table.record_outcome(rows, changed)
-            labels[rows] = new_for_rows
-            n_changed = int(np.count_nonzero(changed))
-            total_changes += n_changed
+            with tracer.span(
+                "kmeans.inner_iteration",
+                counters=counters,
+                iteration=inner_done,
+                active_points=int(rows.size),
+            ) as inner_span:
+                new_for_rows = self._assign(
+                    data, rows, labels, shapes, table, counters
+                )
+                changed = new_for_rows != labels[rows]
+                table.record_outcome(rows, changed)
+                labels[rows] = new_for_rows
+                n_changed = int(np.count_nonzero(changed))
+                total_changes += n_changed
 
-            labels, shapes, dropped = self._recentre(data, labels, shapes)
-            if dropped:
-                # Cluster count changed: the paper reactivates every point.
-                table.reactivate_all()
-                table.invalidate()
+                labels, shapes, dropped = self._recentre(
+                    data, labels, shapes
+                )
+                if dropped:
+                    # Cluster count changed: reactivate every point.
+                    table.reactivate_all()
+                    table.invalidate()
+                if tracer.enabled:
+                    inner_span.set(changes=n_changed, dropped=dropped)
             if n_changed == 0 and not dropped:
                 break
         return labels, shapes, inner_done, total_changes

@@ -36,6 +36,7 @@ import numpy as np
 from ..cluster.elliptical import EllipticalKMeans
 from ..linalg.mahalanobis import estimate_covariance
 from ..linalg.pca import PCAModel, fit_pca, project
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.metrics import CostCounters
 from .config import DEFAULT_CONFIG, MMDRConfig
 from .geometry import ellipticity, projection_distances
@@ -83,12 +84,17 @@ class MMDR:
         data: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         counters: Optional[CostCounters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> MMDRModel:
         """Discover elliptical subspaces in ``(n, d)`` data.
 
         ``rng`` seeds the clustering; pass a seeded generator for exact
         reproducibility.  ``counters`` (optional) accumulates distance
-        computation counts for the cost experiments.
+        computation counts for the cost experiments.  ``tracer``
+        (optional) records the fit's two phases — ``mmdr.generate_ellipsoid``
+        and ``mmdr.dimensionality_optimization`` — as spans, with nested
+        per-level and per-k-means-iteration spans; it never changes the
+        fit itself.
         """
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
         n, d = data.shape
@@ -96,6 +102,7 @@ class MMDR:
             raise ValueError("cannot fit MMDR on an empty dataset")
         rng = rng if rng is not None else np.random.default_rng()
         counters = counters if counters is not None else CostCounters()
+        tracer = ensure_tracer(tracer)
         # Table 1's xi (outlier percentage) doubles as the noise floor:
         # groups smaller than xi*N cannot be meaningful clusters at this
         # data size, which keeps the recursion from shaving off thin slices
@@ -111,18 +118,29 @@ class MMDR:
 
         candidates: List[CandidateEllipsoid] = []
         outlier_pool: List[np.ndarray] = []
-        self._generate_ellipsoid(
+        with tracer.span(
+            "mmdr.generate_ellipsoid", counters=counters, n_points=n, dims=d
+        ):
+            self._generate_ellipsoid(
+                data,
+                np.arange(n, dtype=np.int64),
+                min(self.config.initial_subspace_dim, d),
+                candidates,
+                outlier_pool,
+                rng,
+                counters,
+                stats,
+                tracer,
+            )
+        return self.finalize(
             data,
-            np.arange(n, dtype=np.int64),
-            min(self.config.initial_subspace_dim, d),
             candidates,
             outlier_pool,
-            rng,
-            counters,
             stats,
-        )
-        return self.finalize(
-            data, candidates, outlier_pool, stats, counters, before, start
+            counters,
+            before,
+            start,
+            tracer,
         )
 
     def finalize(
@@ -134,6 +152,7 @@ class MMDR:
         counters: CostCounters,
         before,
         start: float,
+        tracer: Tracer = NULL_TRACER,
     ) -> MMDRModel:
         """Shared back half of the pipeline: cap the ellipsoid count, merge
         compatible groups, run Dimensionality Optimization, and assemble the
@@ -142,21 +161,31 @@ class MMDR:
         # MPE-respecting merges first (they undo over-segmentation without
         # polluting clusters); only then force the MaxEC cap on whatever is
         # genuinely incompatible.
-        if self.config.merge_compatible:
-            candidates = self._merge_compatible(data, candidates)
-        candidates = self._enforce_max_clusters(data, candidates)
+        with tracer.span(
+            "mmdr.merge_candidates",
+            counters=counters,
+            candidates=len(candidates),
+        ):
+            if self.config.merge_compatible:
+                candidates = self._merge_compatible(data, candidates)
+            candidates = self._enforce_max_clusters(data, candidates)
 
         subspaces: List[EllipticalSubspace] = []
-        for candidate in sorted(
-            candidates, key=lambda c: c.member_ids.size, reverse=True
+        with tracer.span(
+            "mmdr.dimensionality_optimization",
+            counters=counters,
+            candidates=len(candidates),
         ):
-            subspace, rejected = self._optimize_dimensionality(
-                data, candidate, len(subspaces)
-            )
-            if rejected.size:
-                outlier_pool.append(rejected)
-            if subspace is not None:
-                subspaces.append(subspace)
+            for candidate in sorted(
+                candidates, key=lambda c: c.member_ids.size, reverse=True
+            ):
+                subspace, rejected = self._optimize_dimensionality(
+                    data, candidate, len(subspaces)
+                )
+                if rejected.size:
+                    outlier_pool.append(rejected)
+                if subspace is not None:
+                    subspaces.append(subspace)
 
         outlier_ids = (
             np.sort(np.concatenate(outlier_pool))
@@ -174,6 +203,16 @@ class MMDR:
         diff = counters.snapshot() - before
         stats.fit_seconds = time.perf_counter() - start
         stats.distance_computations = diff.distance_computations
+        if tracer.enabled:
+            dims_hist = tracer.histogram(
+                "mmdr.retained_dims", buckets=tuple(range(1, 129))
+            )
+            for subspace in subspaces:
+                dims_hist.observe(subspace.reduced_dim)
+            tracer.gauge("mmdr.n_subspaces").set(len(subspaces))
+            tracer.gauge("mmdr.outlier_fraction").set(
+                outlier_ids.size / n if n else 0.0
+            )
         return MMDRModel(
             subspaces=subspaces,
             outliers=outliers,
@@ -196,6 +235,7 @@ class MMDR:
         rng: np.random.Generator,
         counters: CostCounters,
         stats: MMDRStats,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         d = data.shape[1]
         if ids.size < self._min_group:
@@ -203,6 +243,37 @@ class MMDR:
             return
         stats.levels_used.append(s_dim)
 
+        with tracer.span(
+            "mmdr.generate_level",
+            counters=counters,
+            s_dim=int(min(s_dim, d)),
+            points=int(ids.size),
+        ):
+            self._generate_level(
+                data,
+                ids,
+                s_dim,
+                candidates,
+                outlier_pool,
+                rng,
+                counters,
+                stats,
+                tracer,
+            )
+
+    def _generate_level(
+        self,
+        data: np.ndarray,
+        ids: np.ndarray,
+        s_dim: int,
+        candidates: List[CandidateEllipsoid],
+        outlier_pool: List[np.ndarray],
+        rng: np.random.Generator,
+        counters: CostCounters,
+        stats: MMDRStats,
+        tracer: Tracer,
+    ) -> None:
+        d = data.shape[1]
         subset = data[ids]
         pca = fit_pca(subset)
         s_dim = min(s_dim, d)
@@ -226,7 +297,7 @@ class MMDR:
         projections = project(subset, pca, s_dim)
 
         semi_groups = self._cluster_projections(
-            projections, ids, rng, counters, stats
+            projections, ids, rng, counters, stats, tracer
         )
         for group_ids in semi_groups:
             if group_ids.size < self._min_group:
@@ -257,6 +328,7 @@ class MMDR:
                     rng,
                     counters,
                     stats,
+                    tracer,
                 )
             else:
                 # Deepest level reached and the group is still poorly
@@ -277,6 +349,7 @@ class MMDR:
         rng: np.random.Generator,
         counters: CostCounters,
         stats: MMDRStats,
+        tracer: Tracer = NULL_TRACER,
     ) -> List[np.ndarray]:
         """Elliptical k-means in the projected subspace (Figure 4 line 2).
 
@@ -303,7 +376,7 @@ class MMDR:
             max_outer_iterations=self.config.max_outer_iterations,
             max_inner_iterations=self.config.max_inner_iterations,
         )
-        result = estimator.fit(projections, rng, counters)
+        result = estimator.fit(projections, rng, counters, tracer)
         stats.clustering_inner_iterations += result.inner_iterations
         stats.clustering_outer_iterations += result.outer_iterations
         return [

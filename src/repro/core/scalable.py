@@ -31,6 +31,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..linalg.pca import fit_pca
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.metrics import CostCounters
 from ..storage.pager import pages_for_vectors
 from .config import DEFAULT_CONFIG, MMDRConfig
@@ -76,14 +77,21 @@ class ScalableMMDR:
         data: np.ndarray,
         rng: Optional[np.random.Generator] = None,
         counters: Optional[CostCounters] = None,
+        tracer: Optional[Tracer] = None,
     ) -> MMDRModel:
-        """Fit on ``(n, d)`` data using bounded memory per step."""
+        """Fit on ``(n, d)`` data using bounded memory per step.
+
+        ``tracer`` (optional) records one ``scalable.stream`` span per data
+        chunk plus ``scalable.merge_array`` / ``scalable.route_points``
+        phase spans; it never changes the fit.
+        """
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))
         n, d = data.shape
         if n == 0:
             raise ValueError("cannot fit Scalable MMDR on an empty dataset")
         rng = rng if rng is not None else np.random.default_rng()
         counters = counters if counters is not None else CostCounters()
+        tracer = ensure_tracer(tracer)
         start = time.perf_counter()
         before = counters.snapshot()
         stats = MMDRStats()
@@ -99,19 +107,28 @@ class ScalableMMDR:
         for lo in range(0, n, stream_size):
             hi = min(lo + stream_size, n)
             stream = data[lo:hi]
-            counters.count_sequential_read(pages_for_vectors(hi - lo, d))
-            candidates: List[CandidateEllipsoid] = []
-            leftovers: List[np.ndarray] = []
-            inner._generate_ellipsoid(
-                stream,
-                np.arange(hi - lo, dtype=np.int64),
-                min(self.config.initial_subspace_dim, d),
-                candidates,
-                leftovers,
-                rng,
-                counters,
-                stats,
-            )
+            with tracer.span(
+                "scalable.stream",
+                counters=counters,
+                stream=stats.streams_processed,
+                points=hi - lo,
+            ):
+                counters.count_sequential_read(
+                    pages_for_vectors(hi - lo, d)
+                )
+                candidates: List[CandidateEllipsoid] = []
+                leftovers: List[np.ndarray] = []
+                inner._generate_ellipsoid(
+                    stream,
+                    np.arange(hi - lo, dtype=np.int64),
+                    min(self.config.initial_subspace_dim, d),
+                    candidates,
+                    leftovers,
+                    rng,
+                    counters,
+                    stats,
+                    tracer,
+                )
             for candidate in candidates:
                 array.append(
                     EllipsoidArrayEntry(
@@ -142,15 +159,25 @@ class ScalableMMDR:
 
         # --- phase 2: merge small ellipsoids via GE on the array ---------
         centroids = np.vstack([entry.centroid for entry in array])
-        merge_groups = self._merge_array(centroids, inner, rng, counters, stats)
+        with tracer.span(
+            "scalable.merge_array", counters=counters, entries=len(array)
+        ):
+            merge_groups = self._merge_array(
+                centroids, inner, rng, counters, stats, tracer
+            )
 
         # --- phase 3: one sequential pass routes points to merged groups -
-        entry_to_group = np.zeros(len(array), dtype=np.int64)
-        for group_idx, entry_ids in enumerate(merge_groups):
-            entry_to_group[entry_ids] = group_idx
-        counters.count_sequential_read(pages_for_vectors(n, d))
-        nearest_entry = self._nearest_centroid(data, centroids, counters)
-        point_group = entry_to_group[nearest_entry]
+        with tracer.span(
+            "scalable.route_points",
+            counters=counters,
+            groups=len(merge_groups),
+        ):
+            entry_to_group = np.zeros(len(array), dtype=np.int64)
+            for group_idx, entry_ids in enumerate(merge_groups):
+                entry_to_group[entry_ids] = group_idx
+            counters.count_sequential_read(pages_for_vectors(n, d))
+            nearest_entry = self._nearest_centroid(data, centroids, counters)
+            point_group = entry_to_group[nearest_entry]
 
         # --- phase 4: shared finalization (cap, merge, optimize) ---------
         # Each merged group becomes a candidate ellipsoid; the shared
@@ -207,7 +234,14 @@ class ScalableMMDR:
             int(self.config.outlier_fraction * n),
         )
         return inner.finalize(
-            data, candidates, outlier_pool, stats, counters, before, start
+            data,
+            candidates,
+            outlier_pool,
+            stats,
+            counters,
+            before,
+            start,
+            tracer,
         )
 
     # ------------------------------------------------------------------
@@ -221,6 +255,7 @@ class ScalableMMDR:
         rng: np.random.Generator,
         counters: CostCounters,
         stats: MMDRStats,
+        tracer: Tracer = NULL_TRACER,
     ) -> List[np.ndarray]:
         """Run Generate Ellipsoid over the Ellipsoid Array's centroids.
 
@@ -240,6 +275,7 @@ class ScalableMMDR:
             rng,
             counters,
             stats,
+            tracer,
         )
         groups = [c.member_ids for c in candidates]
         groups.extend(ids for ids in leftovers if ids.size)

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data.workload import QueryWorkload
 from ..index.base import VectorIndex
+from ..obs.tracer import Tracer, ensure_tracer
 from ..index.global_ldr import GlobalLDRIndex
 from ..index.idistance import ExtendedIDistance
 from ..index.seqscan import SequentialScan
@@ -43,14 +44,19 @@ def run_query_batch(
     workload: QueryWorkload,
     cold_cache: bool = True,
     collect_ids: Optional[List[np.ndarray]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BatchCost:
     """Answer every query; return per-query cost averages.
 
     ``cold_cache=True`` clears the buffer pool before each query, making
     page counts per-query comparable (the paper reports per-query page
     accesses).  Pass a list as ``collect_ids`` to also receive each query's
-    answer ids (for precision checks on the same run).
+    answer ids (for precision checks on the same run).  Pass a
+    :class:`~repro.obs.Tracer` to record per-query ``knn.query`` spans
+    (with nested per-phase spans, for indexes that emit them) across the
+    whole batch; results are bit-identical with or without one.
     """
+    tracer = ensure_tracer(tracer)
     pages: List[int] = []
     cpu: List[float] = []
     work: List[int] = []
@@ -58,7 +64,7 @@ def run_query_batch(
     for query in workload.queries:
         if cold_cache:
             index.reset_cache()
-        result = index.knn(query, workload.k)
+        result = index.knn(query, workload.k, tracer=tracer)
         pages.append(result.stats.page_reads)
         cpu.append(result.stats.cpu_seconds)
         work.append(result.stats.cpu_work)

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.metrics import CostCounters, CostSnapshot
 from ..storage.pager import PageStore
@@ -99,8 +100,19 @@ class VectorIndex(ABC):
         self.pool = BufferPool(self.store, pool_pages, self.counters)
 
     @abstractmethod
-    def knn(self, query: np.ndarray, k: int) -> KNNResult:
-        """The K nearest neighbors of ``query`` under the index's scoring."""
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Optional[Tracer] = None,
+    ) -> KNNResult:
+        """The K nearest neighbors of ``query`` under the index's scoring.
+
+        Pass a :class:`~repro.obs.Tracer` to record per-phase spans (and
+        per-span cost deltas) for this query; the default is a shared
+        no-op tracer, under which the query's counters and results are
+        bit-identical to an uninstrumented run.
+        """
         raise NotImplementedError
 
     def reset_cache(self) -> None:
@@ -112,10 +124,49 @@ class VectorIndex(ABC):
         """Total pages the index occupies."""
         return self.store.allocated_pages
 
-    def _measured(self, fn, *args, **kwargs):
-        """Run ``fn`` under the CPU timer and return (result, QueryStats)."""
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of buffered reads served without physical I/O."""
+        return self.pool.hit_rate
+
+    def storage_stats(self) -> dict:
+        """Buffer-pool and page-store state, for traces and tests.
+
+        Exposes the pool's hit/miss split (``logical_reads`` vs
+        ``physical_reads`` in counter terms) so cache behavior can be
+        asserted without reaching into the pool.
+        """
+        return {
+            "buffer_hits": self.pool.hits,
+            "buffer_misses": self.pool.misses,
+            "buffer_hit_rate": self.pool.hit_rate,
+            "resident_pages": len(self.pool),
+            "capacity_pages": self.pool.capacity_pages,
+            "allocated_pages": self.store.allocated_pages,
+        }
+
+    def _measured(self, fn, *args, tracer: Tracer = NULL_TRACER, **kwargs):
+        """Run ``fn`` under the CPU timer and return (result, QueryStats).
+
+        When a real ``tracer`` is supplied the call is wrapped in a
+        ``knn.query`` span (cost delta = the whole query) and the buffer
+        pool feeds ``buffer.hits``/``buffer.misses`` counters for the
+        duration.  ``fn`` receives ``*args``/``kwargs`` untouched —
+        callers that want per-phase spans pass the tracer along inside
+        ``args`` themselves.
+        """
         before = self.counters.snapshot()
-        with self.counters.cpu_timer():
-            result = fn(*args, **kwargs)
+        previous_pool_tracer = self.pool.tracer
+        self.pool.tracer = tracer if tracer.enabled else None
+        try:
+            with tracer.span(
+                "knn.query", counters=self.counters, scheme=self.name
+            ):
+                with self.counters.cpu_timer():
+                    result = fn(*args, **kwargs)
+        finally:
+            self.pool.tracer = previous_pool_tracer
         stats = QueryStats.from_snapshots(before, self.counters.snapshot())
+        if tracer.enabled:
+            tracer.gauge("buffer.hit_rate").set(self.pool.hit_rate)
         return result, stats

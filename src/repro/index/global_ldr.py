@@ -18,10 +18,11 @@ difference is purely structural.
 from __future__ import annotations
 
 import heapq
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..storage.pager import pages_for_vectors
 from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
@@ -58,15 +59,26 @@ class GlobalLDRIndex(VectorIndex):
         for _ in range(self.outlier_pages):
             self.store.allocate(("gldr-outliers",), 0)
 
-    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Optional[Tracer] = None,
+    ) -> KNNResult:
         query = np.asarray(query, dtype=np.float64)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        (ids, distances), stats = self._measured(self._search, query, k)
+        tracer = ensure_tracer(tracer)
+        (ids, distances), stats = self._measured(
+            self._search, query, k, tracer, tracer=tracer
+        )
         return KNNResult(ids=ids, distances=distances, stats=stats)
 
     def _search(
-        self, query: np.ndarray, k: int
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
         k = min(k, self.reduced.n_points)
         results: List[Tuple[float, int]] = []  # max-heap via negation
@@ -81,13 +93,18 @@ class GlobalLDRIndex(VectorIndex):
         # before any tree is descended.
         outliers = self.reduced.outliers
         if outliers.size:
-            self.counters.count_sequential_read(self.outlier_pages)
-            dists = np.linalg.norm(outliers.points - query, axis=1)
-            self.counters.count_distance(
-                outliers.size, dims=self.reduced.dimensionality
-            )
-            for dist, rid in zip(dists, outliers.member_ids):
-                offer(float(dist), int(rid))
+            with tracer.span(
+                "gldr.outlier_scan",
+                counters=self.counters,
+                outliers=int(outliers.size),
+            ):
+                self.counters.count_sequential_read(self.outlier_pages)
+                dists = np.linalg.norm(outliers.points - query, axis=1)
+                self.counters.count_distance(
+                    outliers.size, dims=self.reduced.dimensionality
+                )
+                for dist, rid in zip(dists, outliers.member_ids):
+                    offer(float(dist), int(rid))
 
         # One global frontier across every cluster's tree.
         q_proj = [
@@ -101,19 +118,26 @@ class GlobalLDRIndex(VectorIndex):
                 (tree.root_mindist(q_proj[tree_idx]), tree_idx, tree.root_page),
             )
 
-        while frontier:
-            mindist, tree_idx, page = heapq.heappop(frontier)
-            if len(results) == k and mindist > -results[0][0]:
-                break
+        with tracer.span(
+            "gldr.tree_search", counters=self.counters, trees=len(self.trees)
+        ) as tree_span:
+            expanded = 0
+            while frontier:
+                mindist, tree_idx, page = heapq.heappop(frontier)
+                if len(results) == k and mindist > -results[0][0]:
+                    break
 
-            def push(child_mindist: float, child_page: int) -> None:
-                heapq.heappush(
-                    frontier, (child_mindist, tree_idx, child_page)
+                def push(child_mindist: float, child_page: int) -> None:
+                    heapq.heappush(
+                        frontier, (child_mindist, tree_idx, child_page)
+                    )
+
+                self.trees[tree_idx].expand(
+                    page, q_proj[tree_idx], push, offer
                 )
-
-            self.trees[tree_idx].expand(
-                page, q_proj[tree_idx], push, offer
-            )
+                expanded += 1
+            if tracer.enabled:
+                tree_span.set(nodes_expanded=expanded)
 
         ordered = sorted((-d, rid) for d, rid in results)
         distances = np.array([d for d, _ in ordered])

@@ -54,6 +54,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.subspace import EllipticalSubspace, OutlierSet
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..btree.tree import BPlusTree
 from ..storage.pager import PAGE_SIZE, vector_bytes
@@ -302,15 +303,33 @@ class ExtendedIDistance(VectorIndex):
     # search
     # ------------------------------------------------------------------
 
-    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Optional[Tracer] = None,
+    ) -> KNNResult:
         query = np.asarray(query, dtype=np.float64)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        (ids, distances), stats = self._measured(self._knn_search, query, k)
+        tracer = ensure_tracer(tracer)
+        (ids, distances), stats = self._measured(
+            self._knn_search, query, k, tracer, tracer=tracer
+        )
+        if tracer.enabled:
+            tracer.histogram("knn.candidates_per_query").observe(
+                stats.distance_computations
+            )
+            tracer.histogram("knn.pages_per_query").observe(
+                stats.page_reads
+            )
         return KNNResult(ids=ids, distances=distances, stats=stats)
 
     def _knn_search(
-        self, query: np.ndarray, k: int
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
         k = min(
             k, self.reduced.n_points + getattr(self, "n_inserted", 0)
@@ -347,24 +366,49 @@ class ExtendedIDistance(VectorIndex):
         )
 
         radius = self.radius_step
+        expansions = 0
         while True:
-            for partition in self.partitions:
-                if partition.size == 0:
-                    continue
-                self._scan_partition(
-                    partition,
-                    q_proj[partition.index],
-                    q_dist[partition.index],
-                    radius,
-                    scans,
-                    offer,
-                    kth_best,
-                )
+            expansions += 1
+            # One span per radius expansion: its cost delta is exactly the
+            # pages/distances this ΔR step paid across every partition.
+            with tracer.span(
+                "knn.expand_radius",
+                counters=self.counters,
+                radius=radius,
+                expansion=expansions,
+            ) as expand_span:
+                for partition in self.partitions:
+                    if partition.size == 0:
+                        continue
+                    with tracer.span(
+                        "knn.probe_partition",
+                        counters=self.counters,
+                        partition=partition.index,
+                        outliers=partition.subspace is None,
+                    ):
+                        self._scan_partition(
+                            partition,
+                            q_proj[partition.index],
+                            q_dist[partition.index],
+                            radius,
+                            scans,
+                            offer,
+                            kth_best,
+                        )
+                if tracer.enabled:
+                    expand_span.set(
+                        heap_size=len(heap), kth_best=kth_best()
+                    )
             if len(heap) == k and kth_best() <= radius:
                 break
             if radius > max_needed:
                 break
             radius += self.radius_step
+        if tracer.enabled:
+            tracer.counter("knn.radius_expansions").inc(expansions)
+            tracer.histogram(
+                "knn.expansions_per_query", buckets=tuple(range(1, 65))
+            ).observe(expansions)
 
         ordered = sorted((-d, rid) for d, rid in heap)
         distances = np.array([d for d, _ in ordered])

@@ -10,10 +10,11 @@ gLDR falling *behind* once the dimensionality reaches ~20.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..storage.pager import pages_for_vectors
 from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
@@ -49,17 +50,38 @@ class SequentialScan(VectorIndex):
         ):
             self.store.allocate(("seqscan-outliers",), 0)
 
-    def knn(self, query: np.ndarray, k: int) -> KNNResult:
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Optional[Tracer] = None,
+    ) -> KNNResult:
         query = np.asarray(query, dtype=np.float64)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        (ids, distances), stats = self._measured(self._scan, query, k)
+        tracer = ensure_tracer(tracer)
+        (ids, distances), stats = self._measured(
+            self._scan, query, k, tracer, tracer=tracer
+        )
         return KNNResult(ids=ids, distances=distances, stats=stats)
 
     def _scan(
-        self, query: np.ndarray, k: int
+        self,
+        query: np.ndarray,
+        k: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
         k = min(k, self.reduced.n_points)
+        with tracer.span(
+            "knn.sequential_scan",
+            counters=self.counters,
+            pages=self.scan_pages,
+        ):
+            return self._scan_all(query, k)
+
+    def _scan_all(
+        self, query: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         self.counters.count_sequential_read(self.scan_pages)
 
         id_chunks: List[np.ndarray] = []

@@ -1,0 +1,101 @@
+"""JSONL serialization of traces (spans + metrics).
+
+One record per line.  Span records preserve event-log order (the tracer's
+start order) and carry the cost delta as a flat object, e.g.::
+
+    {"type": "span", "name": "knn.expand_radius", "index": 12, "parent": 11,
+     "depth": 2, "start_s": 0.0134, "duration_s": 0.0009,
+     "attrs": {"radius": 0.35},
+     "cost": {"logical_reads": 9, "physical_reads": 4, ...}}
+
+Metric records follow the spans (``type`` of ``counter`` / ``gauge`` /
+``histogram``).  The format is line-appendable so several tracers (e.g. one
+per benchmark run) can share one file; :func:`read_jsonl` just pools the
+records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["span_to_record", "write_jsonl", "read_jsonl"]
+
+
+def span_to_record(span) -> dict:
+    """Flatten a :class:`~repro.obs.tracer.Span` for serialization."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "index": span.index,
+        "parent": span.parent,
+        "depth": span.depth,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "attrs": {key: _jsonable(v) for key, v in span.attributes.items()},
+        "cost": (
+            dataclasses.asdict(span.cost) if span.cost is not None else None
+        ),
+    }
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other oddities into JSON-native types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def write_jsonl(path: Union[str, Path], tracer, append: bool = False) -> int:
+    """Write a tracer's spans and metrics to ``path``; returns #records."""
+    path = Path(path)
+    records: List[dict] = [span_to_record(s) for s in tracer.spans]
+    metrics = getattr(tracer, "metrics", None)
+    if metrics is not None:
+        records.extend(metrics.as_records())
+    with path.open("a" if append else "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: Union[str, Path]) -> Dict[str, List[dict]]:
+    """Load a trace file into ``{"spans": [...], "metrics": [...]}``.
+
+    Blank lines are skipped; unknown record types are preserved under
+    ``"other"`` so future record kinds do not break old readers.  A line
+    that fails to parse (e.g. a partial final line from an interrupted
+    writer) is recorded under ``"other"`` as
+    ``{"type": "malformed", "line": <1-based number>}`` instead of
+    aborting the whole read.
+    """
+    spans: List[dict] = []
+    metrics: List[dict] = []
+    other: List[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                other.append({"type": "malformed", "line": lineno})
+                continue
+            if not isinstance(record, dict):
+                other.append({"type": "malformed", "line": lineno})
+                continue
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(record)
+            elif kind in ("counter", "gauge", "histogram"):
+                metrics.append(record)
+            else:
+                other.append(record)
+    return {"spans": spans, "metrics": metrics, "other": other}

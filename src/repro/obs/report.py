@@ -1,0 +1,182 @@
+"""Aggregate a JSONL trace into a human-readable per-span report.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl [--sort total|count|pages|name]
+                                           [--top N]
+
+For every span name the report shows call count, total/mean/p95 wall time,
+and the summed cost deltas (page reads, distance computations, distance
+flops, key comparisons) — i.e. where inside a query or a fit the I/O and
+CPU work actually went, phase by phase.  Counters, gauges and histograms
+recorded alongside the spans are printed below the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .export import read_jsonl
+
+__all__ = ["SpanAggregate", "aggregate_spans", "render_report", "main"]
+
+
+@dataclass
+class SpanAggregate:
+    """Roll-up of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    durations: List[float] = field(default_factory=list)
+    pages: int = 0
+    logical_reads: int = 0
+    distance_computations: int = 0
+    distance_flops: int = 0
+    key_comparisons: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def percentile_s(self, q: float) -> float:
+        """Exact q-quantile of the recorded durations (nearest-rank)."""
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+
+def aggregate_spans(spans: Iterable[dict]) -> Dict[str, SpanAggregate]:
+    """Group span records (as loaded by :func:`read_jsonl`) by name."""
+    rollup: Dict[str, SpanAggregate] = {}
+    for record in spans:
+        name = record["name"]
+        agg = rollup.get(name)
+        if agg is None:
+            agg = rollup[name] = SpanAggregate(name=name)
+        duration = float(record.get("duration_s", 0.0))
+        agg.count += 1
+        agg.total_s += duration
+        agg.durations.append(duration)
+        cost = record.get("cost")
+        if cost:
+            agg.pages += int(cost.get("physical_reads", 0)) + int(
+                cost.get("sequential_reads", 0)
+            )
+            agg.logical_reads += int(cost.get("logical_reads", 0))
+            agg.distance_computations += int(
+                cost.get("distance_computations", 0)
+            )
+            agg.distance_flops += int(cost.get("distance_flops", 0))
+            agg.key_comparisons += int(cost.get("key_comparisons", 0))
+    return rollup
+
+
+_SORT_KEYS = {
+    "total": lambda a: -a.total_s,
+    "count": lambda a: -a.count,
+    "pages": lambda a: -a.pages,
+    "name": lambda a: a.name,
+}
+
+
+def render_report(
+    trace: Dict[str, List[dict]],
+    sort: str = "total",
+    top: Optional[int] = None,
+) -> str:
+    """Format the per-span table plus the metrics section."""
+    if sort not in _SORT_KEYS:
+        raise ValueError(
+            f"unknown sort key {sort!r}; pick one of {sorted(_SORT_KEYS)}"
+        )
+    aggregates = sorted(
+        aggregate_spans(trace["spans"]).values(), key=_SORT_KEYS[sort]
+    )
+    if top is not None:
+        aggregates = aggregates[:top]
+
+    header = (
+        f"{'span':<34} {'count':>6} {'total_ms':>10} {'mean_ms':>9} "
+        f"{'p95_ms':>9} {'pages':>8} {'dist':>9} {'flops':>11} {'keys':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for agg in aggregates:
+        lines.append(
+            f"{agg.name:<34} {agg.count:>6} "
+            f"{agg.total_s * 1e3:>10.2f} {agg.mean_s * 1e3:>9.3f} "
+            f"{agg.percentile_s(0.95) * 1e3:>9.3f} "
+            f"{agg.pages:>8} {agg.distance_computations:>9} "
+            f"{agg.distance_flops:>11} {agg.key_comparisons:>9}"
+        )
+    if not aggregates:
+        lines.append("(no spans)")
+
+    metrics = trace.get("metrics", [])
+    if metrics:
+        lines.append("")
+        lines.append("metrics")
+        lines.append("-------")
+        for record in metrics:
+            kind = record["type"]
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"  {record['name']:<40} {kind:<9} "
+                    f"{record['value']:.6g}"
+                )
+            elif kind == "histogram":
+                count = record["count"]
+                mean = record["total"] / count if count else 0.0
+                p95 = _histogram_percentile(record, 0.95)
+                lines.append(
+                    f"  {record['name']:<40} histogram "
+                    f"count={count} mean={mean:.6g} p95<={p95:.6g}"
+                )
+    return "\n".join(lines)
+
+
+def _histogram_percentile(record: dict, q: float) -> float:
+    count = record["count"]
+    if not count:
+        return 0.0
+    rank = math.ceil(q * count)
+    seen = 0
+    for bound, n in zip(record["bounds"], record["counts"]):
+        seen += n
+        if seen >= rank:
+            return float(bound)
+    return math.inf
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__
+    )
+    parser.add_argument("trace", help="path to a JSONL trace file")
+    parser.add_argument(
+        "--sort",
+        choices=sorted(_SORT_KEYS),
+        default="total",
+        help="table ordering (default: total wall time, descending)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=None, help="only show the first N rows"
+    )
+    args = parser.parse_args(argv)
+    try:
+        trace = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(render_report(trace, sort=args.sort, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

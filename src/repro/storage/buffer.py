@@ -53,6 +53,12 @@ class BufferPool:
         self._resident: OrderedDict[int, Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Optional :class:`~repro.obs.Tracer` feeding ``buffer.hits`` /
+        #: ``buffer.misses`` counters.  ``None`` (the default) keeps the
+        #: read path at a single identity check — the index's
+        #: ``_measured`` wrapper installs a tracer for the duration of a
+        #: traced query and restores ``None`` afterwards.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._resident)
@@ -67,9 +73,13 @@ class BufferPool:
         if page is not None:
             self.hits += 1
             self._resident.move_to_end(page_id)
+            if self.tracer is not None:
+                self.tracer.counter("buffer.hits").inc()
             return page.payload
         self.misses += 1
         self.counters.count_physical_read()
+        if self.tracer is not None:
+            self.tracer.counter("buffer.misses").inc()
         page = self.store.fetch(page_id)
         self._admit(page)
         return page.payload
@@ -90,6 +100,13 @@ class BufferPool:
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of reads served from the pool (0.0 when no reads yet)."""
+        """Fraction of reads served from the pool (0.0 when no reads yet).
+
+        ``hits``/``misses`` are the pool's own split of the shared
+        counters' ``logical_reads`` into cached vs ``physical_reads`` —
+        kept locally because the counter set may also be fed by other
+        components (sequential scans, page writes), which would skew a
+        rate derived from the counters alone.
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0

@@ -129,25 +129,34 @@ class CostCounters:
                 self.cpu_seconds += time.perf_counter() - start
 
     def snapshot(self) -> CostSnapshot:
-        """Copy the current counter values."""
+        """Copy the current counter values.
+
+        Field-driven (``dataclasses.fields(CostSnapshot)``), so a counter
+        added to both dataclass declarations is picked up automatically —
+        there is no third place to keep in sync.
+        """
         return CostSnapshot(
-            logical_reads=self.logical_reads,
-            physical_reads=self.physical_reads,
-            page_writes=self.page_writes,
-            sequential_reads=self.sequential_reads,
-            distance_computations=self.distance_computations,
-            distance_flops=self.distance_flops,
-            key_comparisons=self.key_comparisons,
-            cpu_seconds=self.cpu_seconds,
+            **{name: getattr(self, name) for name in _SNAPSHOT_FIELD_NAMES}
         )
 
     def reset(self) -> None:
         """Zero every counter (timer nesting state is preserved)."""
-        self.logical_reads = 0
-        self.physical_reads = 0
-        self.page_writes = 0
-        self.sequential_reads = 0
-        self.distance_computations = 0
-        self.distance_flops = 0
-        self.key_comparisons = 0
-        self.cpu_seconds = 0.0
+        for f in fields(CostSnapshot):
+            setattr(self, f.name, f.default)
+
+
+# Snapshot fields are the single source of truth for snapshot()/reset();
+# resolved once because snapshot() sits on the per-query hot path.
+_SNAPSHOT_FIELD_NAMES = tuple(f.name for f in fields(CostSnapshot))
+
+# Import-time sync guard: every public CostCounters field must have a
+# CostSnapshot twin (and vice versa), otherwise snapshot()/__sub__ would
+# silently drop the new counter.  Fails fast instead.
+_counter_fields = {
+    f.name for f in fields(CostCounters) if not f.name.startswith("_")
+}
+if _counter_fields != set(_SNAPSHOT_FIELD_NAMES):
+    raise TypeError(
+        "CostCounters and CostSnapshot fields out of sync: "
+        f"{sorted(_counter_fields ^ set(_SNAPSHOT_FIELD_NAMES))}"
+    )

@@ -1,0 +1,108 @@
+"""Metrics registry: counters, gauges, histogram bucket semantics."""
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.counter("x").value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("rate").set(0.25)
+        reg.gauge("rate").set(0.75)
+        assert reg.gauge("rate").value == 0.75
+
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c", buckets=(1, 2))
+        # second buckets arg ignored: the first creation wins
+        assert reg.histogram("c").bounds == sorted(DEFAULT_BUCKETS)
+
+
+class TestHistogramBuckets:
+    def test_observation_on_edge_lands_in_that_bucket(self):
+        h = Histogram("h", buckets=(1, 2, 5))
+        h.observe(1)  # == first edge -> bucket[0] (inclusive upper bound)
+        h.observe(2)  # == second edge -> bucket[1]
+        h.observe(1.5)  # between 1 and 2 -> bucket[1]
+        h.observe(5)  # == last edge -> bucket[2]
+        assert h.counts == [1, 2, 1]
+        assert h.overflow == 0
+
+    def test_above_last_edge_goes_to_overflow(self):
+        h = Histogram("h", buckets=(1, 2, 5))
+        h.observe(5.0001)
+        h.observe(1000)
+        assert h.counts == [0, 0, 0]
+        assert h.overflow == 2
+
+    def test_below_first_edge_lands_in_first_bucket(self):
+        h = Histogram("h", buckets=(1, 2))
+        h.observe(0)
+        h.observe(-3)
+        assert h.counts == [2, 0]
+
+    def test_mean_and_count(self):
+        h = Histogram("h", buckets=(10,))
+        for v in (1, 2, 3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+
+    def test_percentile_is_bucket_upper_bound(self):
+        h = Histogram("h", buckets=(1, 2, 5, 10))
+        for _ in range(95):
+            h.observe(1.5)  # bucket <=2
+        for _ in range(5):
+            h.observe(9)  # bucket <=10
+        assert h.percentile(0.5) == 2
+        assert h.percentile(0.95) == 2
+        assert h.percentile(1.0) == 10
+
+    def test_percentile_overflow_is_inf_and_empty_is_zero(self):
+        h = Histogram("h", buckets=(1,))
+        assert h.percentile(0.95) == 0.0
+        h.observe(100)
+        assert h.percentile(0.95) == math.inf
+
+    def test_percentile_rejects_bad_quantile(self):
+        h = Histogram("h", buckets=(1,))
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_rejects_empty_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1, 1, 2))
+
+
+class TestRecords:
+    def test_as_records_flattens_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h", buckets=(1, 2)).observe(1.5)
+        records = {r["name"]: r for r in reg.as_records()}
+        assert records["c"]["type"] == "counter"
+        assert records["c"]["value"] == 3
+        assert records["g"]["value"] == 0.5
+        assert records["h"]["counts"] == [0, 1]
+        assert records["h"]["count"] == 1

@@ -1,0 +1,144 @@
+"""JSONL round-trip and the report aggregator / CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.export import read_jsonl, write_jsonl
+from repro.obs.report import aggregate_spans, main, render_report
+from repro.storage.metrics import CostCounters
+
+
+def make_trace(tmp_path):
+    c = CostCounters()
+    t = Tracer(counters=c)
+    for i in range(3):
+        with t.span("phase.a", iteration=i):
+            c.count_physical_read(2)
+            with t.span("phase.b"):
+                c.count_distance(10, dims=4)
+    t.counter("my.counter").inc(7)
+    t.gauge("my.gauge").set(0.5)
+    t.histogram("my.hist", buckets=(1, 10)).observe(3)
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(path, t)
+    return path, t, n
+
+
+class TestRoundTrip:
+    def test_record_count(self, tmp_path):
+        path, tracer, n = make_trace(tmp_path)
+        assert n == 6 + 3  # 6 spans + 3 metric records
+
+    def test_spans_survive_with_order_and_cost(self, tmp_path):
+        path, tracer, _ = make_trace(tmp_path)
+        loaded = read_jsonl(path)
+        spans = loaded["spans"]
+        assert [s["index"] for s in spans] == list(range(6))
+        assert [s["name"] for s in spans] == [
+            "phase.a", "phase.b"] * 3
+        a0, b0 = spans[0], spans[1]
+        assert b0["parent"] == a0["index"]
+        assert b0["depth"] == 1
+        assert a0["attrs"] == {"iteration": 0}
+        # Each phase.a includes its nested phase.b's distance work.
+        assert a0["cost"]["physical_reads"] == 2
+        assert a0["cost"]["distance_computations"] == 10
+        assert b0["cost"]["distance_flops"] == 40
+        assert b0["cost"]["physical_reads"] == 0
+
+    def test_metrics_survive(self, tmp_path):
+        path, _, _ = make_trace(tmp_path)
+        metrics = {r["name"]: r for r in read_jsonl(path)["metrics"]}
+        assert metrics["my.counter"]["value"] == 7
+        assert metrics["my.gauge"]["value"] == 0.5
+        assert metrics["my.hist"]["counts"] == [0, 1]
+
+    def test_append_mode_pools_records(self, tmp_path):
+        path, tracer, first = make_trace(tmp_path)
+        write_jsonl(path, tracer, append=True)
+        loaded = read_jsonl(path)
+        assert len(loaded["spans"]) == 12
+
+    def test_blank_lines_and_unknown_types_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"type": "span", "name": "x", "index": 0,
+                        "parent": -1, "depth": 0, "start_s": 0.0,
+                        "duration_s": 0.5, "attrs": {}, "cost": None})
+            + "\n\n"
+            + json.dumps({"type": "future_thing"}) + "\n"
+        )
+        loaded = read_jsonl(path)
+        assert len(loaded["spans"]) == 1
+        assert len(loaded["other"]) == 1
+
+    def test_malformed_lines_recorded_not_fatal(self, tmp_path):
+        path, tracer, n = make_trace(tmp_path)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "name": "trunc')  # interrupted write
+        loaded = read_jsonl(path)
+        assert len(loaded["spans"]) == 6
+        assert loaded["other"] == [{"type": "malformed", "line": n + 1}]
+
+
+class TestAggregation:
+    def test_per_name_totals_and_percentiles(self):
+        spans = [
+            {"name": "s", "duration_s": d,
+             "cost": {"physical_reads": 1, "sequential_reads": 2,
+                      "distance_computations": 3, "distance_flops": 4,
+                      "key_comparisons": 5, "logical_reads": 6}}
+            for d in (0.1, 0.2, 0.3, 0.4)
+        ]
+        agg = aggregate_spans(spans)["s"]
+        assert agg.count == 4
+        assert agg.total_s == pytest.approx(1.0)
+        assert agg.mean_s == pytest.approx(0.25)
+        assert agg.percentile_s(0.95) == pytest.approx(0.4)
+        assert agg.percentile_s(0.5) == pytest.approx(0.2)
+        assert agg.pages == 4 * 3  # physical + sequential
+        assert agg.distance_flops == 16
+        assert agg.key_comparisons == 20
+
+    def test_spans_without_cost_aggregate_cleanly(self):
+        agg = aggregate_spans(
+            [{"name": "s", "duration_s": 0.1, "cost": None}]
+        )["s"]
+        assert agg.count == 1
+        assert agg.pages == 0
+
+
+class TestRendering:
+    def test_report_contains_spans_and_metrics(self, tmp_path):
+        path, _, _ = make_trace(tmp_path)
+        text = render_report(read_jsonl(path))
+        assert "phase.a" in text
+        assert "phase.b" in text
+        assert "my.counter" in text
+        assert "my.hist" in text
+        assert "p95_ms" in text
+
+    def test_sort_and_top(self, tmp_path):
+        path, _, _ = make_trace(tmp_path)
+        text = render_report(read_jsonl(path), sort="name", top=1)
+        assert "phase.a" in text
+        assert "phase.b" not in text
+
+    def test_unknown_sort_rejected(self, tmp_path):
+        path, _, _ = make_trace(tmp_path)
+        with pytest.raises(ValueError):
+            render_report(read_jsonl(path), sort="nope")
+
+    def test_empty_trace_renders(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert "(no spans)" in render_report(read_jsonl(path))
+
+    def test_cli_main_prints_table(self, tmp_path, capsys):
+        path, _, _ = make_trace(tmp_path)
+        assert main([str(path), "--sort", "count"]) == 0
+        out = capsys.readouterr().out
+        assert "phase.a" in out
+        assert "my.gauge" in out

@@ -99,3 +99,62 @@ class TestCpuTimer:
         with c.cpu_timer():
             time.sleep(0.005)
         assert c.cpu_seconds >= 0.004
+
+    def test_exception_in_nested_inner_timer_keeps_outer_accumulating(self):
+        """Regression: an exception inside an *inner* timer block must leave
+        ``_timer_depth`` consistent so the outer block still accumulates."""
+        c = CostCounters()
+        with c.cpu_timer():
+            with pytest.raises(ValueError):
+                with c.cpu_timer():
+                    raise ValueError("inner boom")
+            assert c._timer_depth == 1
+            time.sleep(0.01)
+        assert c._timer_depth == 0
+        assert c.cpu_seconds >= 0.009
+        # And a fresh nested pair still counts exactly once.
+        before = c.cpu_seconds
+        with c.cpu_timer():
+            with c.cpu_timer():
+                time.sleep(0.005)
+        assert c.cpu_seconds - before < 0.010
+
+
+class TestFieldSync:
+    """snapshot()/__sub__/reset() are derived from dataclasses.fields, so
+    the two classes can only desync loudly (import-time TypeError)."""
+
+    def test_snapshot_covers_every_public_counter_field(self):
+        from dataclasses import fields
+
+        counter_fields = {
+            f.name for f in fields(CostCounters)
+            if not f.name.startswith("_")
+        }
+        snapshot_fields = {f.name for f in fields(CostSnapshot)}
+        assert counter_fields == snapshot_fields
+
+    def test_snapshot_picks_up_every_field_value(self):
+        from dataclasses import fields
+
+        c = CostCounters()
+        for i, f in enumerate(fields(CostSnapshot), start=1):
+            setattr(c, f.name, float(i) if f.name == "cpu_seconds" else i)
+        snap = c.snapshot()
+        for i, f in enumerate(fields(CostSnapshot), start=1):
+            assert getattr(snap, f.name) == i
+
+    def test_subtraction_covers_every_field(self):
+        from dataclasses import fields
+
+        kwargs_a = {
+            f.name: 10.0 if f.name == "cpu_seconds" else 10
+            for f in fields(CostSnapshot)
+        }
+        kwargs_b = {
+            f.name: 4.0 if f.name == "cpu_seconds" else 4
+            for f in fields(CostSnapshot)
+        }
+        diff = CostSnapshot(**kwargs_a) - CostSnapshot(**kwargs_b)
+        for f in fields(CostSnapshot):
+            assert getattr(diff, f.name) == 6
