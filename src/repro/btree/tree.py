@@ -148,6 +148,29 @@ class BPlusTree:
             node = self.pool.read(page_id)
         return page_id
 
+    def descend_path(self, key: float) -> Tuple[List[int], int]:
+        """The pages :meth:`_descend` would read (root → leaf, in order) and
+        the key comparisons it would charge, computed *without* touching the
+        buffer pool or counters.
+
+        The batch KNN engine replays tree descents through per-query cost
+        ledgers instead of the shared pool; this keeps the replayed I/O and
+        CPU accounting exactly equal to a live descent.
+        """
+        if self.root_page is None:
+            raise RuntimeError("tree is empty; bulk_load or insert first")
+        page_id = self.root_page
+        pages = [page_id]
+        comparisons = 0
+        node = self.store.fetch(page_id).payload
+        while not node.is_leaf:
+            idx = bisect.bisect_left(node.separators, key)
+            comparisons += max(1, len(node.separators).bit_length())
+            page_id = node.children[idx]
+            pages.append(page_id)
+            node = self.store.fetch(page_id).payload
+        return pages, comparisons
+
     def search(self, key: float) -> List[int]:
         """All rids stored under exactly ``key`` (duplicates included)."""
         rids: List[int] = []

@@ -358,11 +358,17 @@ class EllipticalKMeans:
         shapes: List[ClusterShape],
         counters: Optional[CostCounters],
     ) -> np.ndarray:
-        columns = [
-            shape.normalized_distance(points, self.normalization, counters)
-            for shape in shapes
-        ]
-        return np.stack(columns, axis=1)
+        # Preallocate (n, k) and fill columns in place: np.stack would
+        # materialize every column and then copy them all into a fresh
+        # array, doubling the transient footprint of the hottest k-means
+        # allocation.  Values are identical — each column is the same
+        # normalized_distance vector either way.
+        out = np.empty((points.shape[0], len(shapes)), dtype=np.float64)
+        for j, shape in enumerate(shapes):
+            out[:, j] = shape.normalized_distance(
+                points, self.normalization, counters
+            )
+        return out
 
     # ------------------------------------------------------------------
     # centroid / covariance maintenance

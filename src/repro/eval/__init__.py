@@ -1,6 +1,12 @@
 """Evaluation: precision metric, experiment harness, text reporting."""
 
-from .harness import BatchCost, compare_index_schemes, run_query_batch
+from .harness import (
+    BatchCost,
+    compare_index_schemes,
+    measure_throughput,
+    run_query_batch,
+    run_workload,
+)
 from .precision import (
     PrecisionReport,
     evaluate_precision,
@@ -18,7 +24,9 @@ __all__ = [
     "exact_knn",
     "format_series",
     "format_table",
+    "measure_throughput",
     "precision_at_k",
     "reduced_knn",
     "run_query_batch",
+    "run_workload",
 ]

@@ -5,24 +5,47 @@ dimensionality) point of Figures 9/10: it answers every workload query on a
 cold cache and averages page reads, CPU seconds and the deterministic CPU
 work proxy.  :func:`compare_index_schemes` assembles the full panel the
 paper plots (iMMDR, iLDR, gLDR, sequential scan).
+
+Execution strategies (all bit-identical in results and per-query cost
+accounting under the cold-cache protocol):
+
+* sequential — the literal per-query loop;
+* batched — :meth:`~repro.index.base.VectorIndex.knn_batch`, sharing
+  vectorized work across the workload inside one process;
+* parallel — ``workers=N`` splits the workload into contiguous chunks and
+  runs each on its own worker (forked processes inheriting the built index
+  copy-on-write, or deep-copied thread-local indexes as a fallback),
+  reassembling results chunk by chunk and folding each worker's counter
+  delta back into the parent index in chunk order.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import copy
+import multiprocessing
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..data.workload import QueryWorkload
-from ..index.base import VectorIndex
+from ..index.base import QueryStats, VectorIndex
 from ..obs.tracer import Tracer, ensure_tracer
 from ..index.global_ldr import GlobalLDRIndex
 from ..index.idistance import ExtendedIDistance
 from ..index.seqscan import SequentialScan
 from ..reduction.base import ReducedDataset
+from ..storage.metrics import CostSnapshot
 
-__all__ = ["BatchCost", "run_query_batch", "compare_index_schemes"]
+__all__ = [
+    "BatchCost",
+    "run_query_batch",
+    "run_workload",
+    "measure_throughput",
+    "compare_index_schemes",
+]
 
 
 @dataclass(frozen=True)
@@ -39,12 +62,147 @@ class BatchCost:
     index_pages: int
 
 
+def _cost_from_stats(
+    index: VectorIndex, workload: QueryWorkload, stats: List[QueryStats]
+) -> BatchCost:
+    return BatchCost(
+        scheme=index.name,
+        mean_page_reads=float(np.mean([s.page_reads for s in stats])),
+        mean_cpu_seconds=float(np.mean([s.cpu_seconds for s in stats])),
+        median_cpu_seconds=float(np.median([s.cpu_seconds for s in stats])),
+        mean_cpu_work=float(np.mean([s.cpu_work for s in stats])),
+        mean_distance_computations=float(
+            np.mean([s.distance_computations for s in stats])
+        ),
+        n_queries=workload.n_queries,
+        index_pages=index.size_pages,
+    )
+
+
+#: Per-chunk execution context for parallel workers.  Populated by
+#: :func:`_run_parallel` immediately before the executor is created: forked
+#: children inherit it copy-on-write (each child's ``indexes[i]`` is then a
+#: private copy of the built index), while the thread fallback stores one
+#: :func:`copy.deepcopy` clone per chunk so no two workers share counters or
+#: a buffer pool.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _parallel_chunk(
+    chunk_index: int,
+) -> Tuple[
+    Optional[np.ndarray], Optional[np.ndarray], List[QueryStats], CostSnapshot
+]:
+    """Answer one contiguous workload chunk on this worker's index clone.
+
+    Returns the chunk's ``(ids, distances, stats)`` plus the counter *delta*
+    the chunk incurred, so the parent can fold every worker's accounting
+    back into the original index in chunk order.
+    """
+    index: VectorIndex = _WORKER_STATE["indexes"][chunk_index]
+    chunk: QueryWorkload = _WORKER_STATE["chunks"][chunk_index]
+    use_batch: bool = _WORKER_STATE["use_batch"]
+    before = index.counters.snapshot()
+    if chunk.n_queries == 0:
+        return None, None, [], CostSnapshot()
+    if use_batch:
+        result = index.knn_batch(chunk.queries, chunk.k)
+        ids, distances = result.ids, result.distances
+        stats = list(result.stats)
+    else:
+        id_rows: List[np.ndarray] = []
+        dist_rows: List[np.ndarray] = []
+        stats = []
+        for query in chunk.queries:
+            index.reset_cache()
+            res = index.knn(query, chunk.k)
+            id_rows.append(res.ids)
+            dist_rows.append(res.distances)
+            stats.append(res.stats)
+        ids = np.vstack(id_rows)
+        distances = np.vstack(dist_rows)
+    delta = index.counters.snapshot() - before
+    return ids, distances, stats, delta
+
+
+def _run_parallel(
+    index: VectorIndex,
+    workload: QueryWorkload,
+    workers: int,
+    use_batch: bool,
+    tracer: Tracer,
+) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
+    """Split the workload into ``workers`` contiguous chunks and answer each
+    on its own worker, reassembling everything in workload order.
+
+    Workers are forked processes when the platform supports ``fork`` (the
+    built index is inherited copy-on-write — no serialization of the page
+    store), else threads over deep-copied clones.  Either way each worker
+    owns a private buffer pool and counter set, so per-query cold-cache
+    accounting is bit-identical to a sequential run; the deltas are folded
+    into the parent index's counters chunk by chunk, which keeps the final
+    counter state deterministic for a given worker count.
+    """
+    chunks = workload.chunks(workers)
+    fork_ok = "fork" in multiprocessing.get_all_start_methods()
+    if fork_ok:
+        _WORKER_STATE["indexes"] = [index] * len(chunks)
+    else:
+        _WORKER_STATE["indexes"] = [copy.deepcopy(index) for _ in chunks]
+    _WORKER_STATE["chunks"] = chunks
+    _WORKER_STATE["use_batch"] = use_batch
+    try:
+        with tracer.span(
+            "knn.parallel",
+            scheme=index.name,
+            workers=workers,
+            n_queries=workload.n_queries,
+            fork=fork_ok,
+        ):
+            if fork_ok:
+                ctx = multiprocessing.get_context("fork")
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx
+                ) as pool:
+                    results = list(
+                        pool.map(_parallel_chunk, range(len(chunks)))
+                    )
+            else:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers
+                ) as pool:
+                    results = list(
+                        pool.map(_parallel_chunk, range(len(chunks)))
+                    )
+    finally:
+        _WORKER_STATE.clear()
+    id_rows: List[np.ndarray] = []
+    dist_rows: List[np.ndarray] = []
+    stats: List[QueryStats] = []
+    for ids, distances, chunk_stats, delta in results:
+        index.counters.merge(delta)
+        if ids is None:
+            continue
+        id_rows.append(ids)
+        dist_rows.append(distances)
+        stats.extend(chunk_stats)
+    if not id_rows:
+        return (
+            np.empty((0, 0), dtype=np.int64),
+            np.empty((0, 0), dtype=np.float64),
+            [],
+        )
+    return np.vstack(id_rows), np.vstack(dist_rows), stats
+
+
 def run_query_batch(
     index: VectorIndex,
     workload: QueryWorkload,
     cold_cache: bool = True,
     collect_ids: Optional[List[np.ndarray]] = None,
     tracer: Optional[Tracer] = None,
+    workers: int = 1,
+    use_batch: bool = False,
 ) -> BatchCost:
     """Answer every query; return per-query cost averages.
 
@@ -55,32 +213,177 @@ def run_query_batch(
     :class:`~repro.obs.Tracer` to record per-query ``knn.query`` spans
     (with nested per-phase spans, for indexes that emit them) across the
     whole batch; results are bit-identical with or without one.
+
+    ``use_batch=True`` routes through :meth:`VectorIndex.knn_batch` (the
+    shared-scan fast path where the index provides one), and ``workers > 1``
+    splits the workload across parallel workers — both return the same ids,
+    distances and per-query page/distance accounting as the default
+    per-query loop, bit for bit; only wall-clock attribution differs (batch
+    wall time is apportioned equally across its queries).  Both accelerated
+    routes require the cold-cache protocol, since a warm cache's hit pattern
+    depends on cross-query page interleaving that a shared or split scan
+    would change.
     """
     tracer = ensure_tracer(tracer)
-    pages: List[int] = []
-    cpu: List[float] = []
-    work: List[int] = []
-    dists: List[int] = []
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 or use_batch:
+        if not cold_cache:
+            raise ValueError(
+                "batched/parallel execution requires cold_cache=True: "
+                "warm-cache accounting depends on cross-query page "
+                "interleaving that a shared or split scan would change"
+            )
+        if workers > 1:
+            ids, _, stats = _run_parallel(
+                index, workload, workers, use_batch, tracer
+            )
+        else:
+            result = index.knn_batch(
+                workload.queries, workload.k, tracer=tracer
+            )
+            ids, stats = result.ids, list(result.stats)
+        if collect_ids is not None:
+            collect_ids.extend(ids[i] for i in range(ids.shape[0]))
+        return _cost_from_stats(index, workload, stats)
+    stats = []
     for query in workload.queries:
         if cold_cache:
             index.reset_cache()
         result = index.knn(query, workload.k, tracer=tracer)
-        pages.append(result.stats.page_reads)
-        cpu.append(result.stats.cpu_seconds)
-        work.append(result.stats.cpu_work)
-        dists.append(result.stats.distance_computations)
+        stats.append(result.stats)
         if collect_ids is not None:
             collect_ids.append(result.ids)
-    return BatchCost(
-        scheme=index.name,
-        mean_page_reads=float(np.mean(pages)),
-        mean_cpu_seconds=float(np.mean(cpu)),
-        median_cpu_seconds=float(np.median(cpu)),
-        mean_cpu_work=float(np.mean(work)),
-        mean_distance_computations=float(np.mean(dists)),
-        n_queries=workload.n_queries,
-        index_pages=index.size_pages,
-    )
+    return _cost_from_stats(index, workload, stats)
+
+
+def run_workload(
+    index: VectorIndex,
+    workload: QueryWorkload,
+    workers: int = 1,
+    use_batch: bool = True,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
+    """Full-results companion to :func:`run_query_batch`: the ``(Q, k)``
+    ids/distances matrices plus per-query stats, under the same routing
+    (``workers``/``use_batch``) and the cold-cache protocol.
+
+    Exists for callers that need the actual answers — equivalence tests,
+    precision evaluation, the throughput benchmark — rather than cost
+    averages.
+    """
+    tracer = ensure_tracer(tracer)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        return _run_parallel(index, workload, workers, use_batch, tracer)
+    if use_batch:
+        result = index.knn_batch(workload.queries, workload.k, tracer=tracer)
+        return result.ids, result.distances, list(result.stats)
+    id_rows: List[np.ndarray] = []
+    dist_rows: List[np.ndarray] = []
+    stats: List[QueryStats] = []
+    for query in workload.queries:
+        index.reset_cache()
+        res = index.knn(query, workload.k, tracer=tracer)
+        id_rows.append(res.ids)
+        dist_rows.append(res.distances)
+        stats.append(res.stats)
+    if not id_rows:
+        return (
+            np.empty((0, 0), dtype=np.int64),
+            np.empty((0, 0), dtype=np.float64),
+            [],
+        )
+    return np.vstack(id_rows), np.vstack(dist_rows), stats
+
+
+def measure_throughput(
+    index: VectorIndex,
+    workload: QueryWorkload,
+    workers: int = 2,
+    repeats: int = 1,
+    tracer: Optional[Tracer] = None,
+) -> Dict[str, float]:
+    """Time the three execution strategies on one workload and verify they
+    agree.
+
+    Runs the sequential per-query loop, the batched fast path and the
+    ``workers``-way parallel path ``repeats`` times each (best-of timing,
+    which filters scheduler noise), asserts the accelerated routes return
+    exactly the sequential ids and distances, and returns queries/second
+    for each plus the batch speedup — the schema ``BENCH_throughput.json``
+    records.  A real ``tracer`` also gets the ``knn.batch_speedup`` gauge.
+    """
+    tracer = ensure_tracer(tracer)
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    n = workload.n_queries
+
+    def timed(fn):
+        start = time.perf_counter()
+        out = fn()
+        return time.perf_counter() - start, out
+
+    def sequential() -> Tuple[np.ndarray, np.ndarray]:
+        id_rows, dist_rows = [], []
+        for query in workload.queries:
+            index.reset_cache()
+            res = index.knn(query, workload.k)
+            id_rows.append(res.ids)
+            dist_rows.append(res.distances)
+        return np.vstack(id_rows), np.vstack(dist_rows)
+
+    def batched() -> Tuple[np.ndarray, np.ndarray]:
+        res = index.knn_batch(workload.queries, workload.k)
+        return res.ids, res.distances
+
+    def parallel() -> Tuple[np.ndarray, np.ndarray]:
+        ids, distances, _ = _run_parallel(
+            index, workload, workers, True, ensure_tracer(None)
+        )
+        return ids, distances
+
+    # Interleave the strategies round by round (rather than timing each in
+    # its own phase) so transient machine load hits them alike; best-of
+    # then filters the noisy rounds for all three symmetrically.
+    t_seq = t_batch = t_par = np.inf
+    seq_out = batch_out = par_out = None
+    for _ in range(repeats):
+        t, out = timed(sequential)
+        if t < t_seq:
+            t_seq, seq_out = t, out
+        t, out = timed(batched)
+        if t < t_batch:
+            t_batch, batch_out = t, out
+        t, out = timed(parallel)
+        if t < t_par:
+            t_par, par_out = t, out
+    seq_ids, seq_dists = seq_out
+    batch_ids, batch_dists = batch_out
+    par_ids, par_dists = par_out
+    if not np.array_equal(seq_ids, batch_ids):
+        raise AssertionError("knn_batch ids diverge from sequential knn")
+    if not np.array_equal(seq_dists, batch_dists):
+        raise AssertionError(
+            "knn_batch distances diverge from sequential knn"
+        )
+    if not np.array_equal(seq_ids, par_ids):
+        raise AssertionError("parallel ids diverge from sequential knn")
+    if not np.array_equal(seq_dists, par_dists):
+        raise AssertionError("parallel distances diverge from sequential knn")
+    qps_sequential = n / t_seq
+    qps_batch = n / t_batch
+    qps_parallel = n / t_par
+    speedup = qps_batch / qps_sequential
+    if tracer.enabled:
+        tracer.gauge("knn.batch_speedup").set(speedup)
+    return {
+        "qps_sequential": qps_sequential,
+        "qps_batch": qps_batch,
+        "qps_parallel": qps_parallel,
+        "speedup_batch": speedup,
+    }
 
 
 def compare_index_schemes(

@@ -15,18 +15,19 @@ axis system; outliers use full-dimensional L2.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.buffer import BufferPool
 from ..storage.metrics import CostCounters, CostSnapshot
 from ..storage.pager import PageStore
 
-__all__ = ["QueryStats", "KNNResult", "VectorIndex"]
+__all__ = ["QueryStats", "KNNResult", "BatchKNNResult", "VectorIndex"]
 
 #: Default buffer pool size (pages).  512 pages = 2 MiB: large enough that a
 #: single query's working set fits, small enough that one query cannot cache
@@ -88,6 +89,56 @@ class KNNResult:
         return self.ids.size
 
 
+@dataclass(frozen=True)
+class BatchKNNResult:
+    """Answers for a whole query workload in workload order.
+
+    ``ids`` and ``distances`` are ``(Q, k)`` (nearest first per row);
+    ``stats`` has one :class:`QueryStats` per query.  Per-query accounting
+    is defined under the *cold-cache* protocol (buffer pool empty at each
+    query's start — the paper's per-query measurement), and is bit-identical
+    to answering the same queries one at a time through :meth:`VectorIndex.knn`
+    with a cache reset before each.  ``wall_seconds`` is the real elapsed
+    time for the whole batch; on vectorized fast paths each query's
+    ``cpu_seconds`` is the batch wall time apportioned equally, since the
+    shared-scan kernels have no meaningful per-query wall attribution.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: Tuple[QueryStats, ...]
+    wall_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.ids.shape != self.distances.shape:
+            raise ValueError(
+                f"ids shape {self.ids.shape} != distances "
+                f"shape {self.distances.shape}"
+            )
+        if self.ids.ndim != 2 or self.ids.shape[0] != len(self.stats):
+            raise ValueError(
+                f"expected ({len(self.stats)}, k) id matrix, "
+                f"got shape {self.ids.shape}"
+            )
+
+    @property
+    def n_queries(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.ids.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    def __getitem__(self, i: int) -> KNNResult:
+        """One query's answer as a standalone :class:`KNNResult`."""
+        return KNNResult(
+            ids=self.ids[i], distances=self.distances[i], stats=self.stats[i]
+        )
+
+
 class VectorIndex(ABC):
     """A KNN index over a reduced dataset, with its own simulated storage."""
 
@@ -114,6 +165,116 @@ class VectorIndex(ABC):
         bit-identical to an uninstrumented run.
         """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tracer: Optional[Tracer] = None,
+        cold_cache: bool = True,
+    ) -> BatchKNNResult:
+        """Answer every query in ``(Q, d)`` ``queries``, sharing work across
+        the batch where the index provides a vectorized fast path.
+
+        Results (ids, distances) and per-query cost accounting are
+        bit-identical to a per-query :meth:`knn` loop under the cold-cache
+        protocol; the fast paths exist purely to amortize per-query Python
+        and small-kernel overhead across the workload.  ``cold_cache=False``
+        falls back to the sequential loop (warm-cache accounting depends on
+        the exact cross-query page interleaving, which a shared scan would
+        change), and so do indexes without a fast path.
+
+        The whole call runs under one ``knn.batch`` span; a real ``tracer``
+        also gets a ``knn.batch_qps`` gauge.  The index's own counters are
+        advanced by the batch totals either way.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be (Q, d), got shape {queries.shape}"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        tracer = ensure_tracer(tracer)
+        has_fast_path = type(self)._knn_batch is not VectorIndex._knn_batch
+        start = time.perf_counter()
+        with tracer.span(
+            "knn.batch",
+            counters=self.counters,
+            scheme=self.name,
+            n_queries=queries.shape[0],
+            k=k,
+            cold_cache=cold_cache,
+            fast_path=has_fast_path and cold_cache,
+        ):
+            if has_fast_path and cold_cache:
+                with self.counters.cpu_timer():
+                    ids, distances, stats = self._knn_batch(
+                        queries, k, tracer
+                    )
+                wall = time.perf_counter() - start
+                per_query = wall / max(1, queries.shape[0])
+                stats = [
+                    replace(s, cpu_seconds=per_query) for s in stats
+                ]
+            else:
+                ids, distances, stats = self._knn_batch_loop(
+                    queries, k, tracer, cold_cache
+                )
+                wall = time.perf_counter() - start
+        if tracer.enabled and wall > 0:
+            tracer.gauge("knn.batch_qps").set(queries.shape[0] / wall)
+        return BatchKNNResult(
+            ids=ids,
+            distances=distances,
+            stats=tuple(stats),
+            wall_seconds=wall,
+        )
+
+    def _knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tracer: Tracer,
+    ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
+        """Vectorized batch kernel (cold-cache accounting); subclasses
+        override.  Must return ``(Q, k)`` ids/distances plus per-query stats
+        whose page/distance/key counts equal a cold per-query :meth:`knn`
+        loop bit-for-bit (``cpu_seconds`` may be 0 — the caller apportions
+        wall time).  The base implementation is never called (the caller
+        routes to :meth:`_knn_batch_loop` when this is not overridden).
+        """
+        raise NotImplementedError
+
+    def _knn_batch_loop(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tracer: Tracer,
+        cold_cache: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
+        """Reference batch execution: a per-query :meth:`knn` loop."""
+        id_rows: List[np.ndarray] = []
+        dist_rows: List[np.ndarray] = []
+        stats: List[QueryStats] = []
+        for query in queries:
+            if cold_cache:
+                self.reset_cache()
+            result = self.knn(query, k, tracer=tracer)
+            id_rows.append(result.ids)
+            dist_rows.append(result.distances)
+            stats.append(result.stats)
+        if not id_rows:
+            return (
+                np.empty((0, 0), dtype=np.int64),
+                np.empty((0, 0), dtype=np.float64),
+                [],
+            )
+        return np.vstack(id_rows), np.vstack(dist_rows), stats
 
     def reset_cache(self) -> None:
         """Drop the buffer pool contents (cold-cache measurement)."""

@@ -48,17 +48,24 @@ the leaves, with the accounting kept explicit.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.subspace import EllipticalSubspace, OutlierSet
+from ..linalg.kernels import (
+    cold_lru_physical_reads,
+    flat_l2,
+    multi_arange,
+)
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..btree.tree import BPlusTree
+from ..storage.metrics import CostSnapshot
 from ..storage.pager import PAGE_SIZE, vector_bytes
-from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
+from .base import DEFAULT_POOL_PAGES, KNNResult, QueryStats, VectorIndex
 
 __all__ = ["ExtendedIDistance"]
 
@@ -105,6 +112,105 @@ class _DirectionalScan:
         self.done = False
 
 
+#: Segment length at or above which the batch scan scores a segment on a
+#: contiguous array view instead of routing it through the shared gather
+#: kernel — long runs pay more for the gather copy than for one numpy call.
+_BATCH_SEG_VIEW_MIN = 256
+
+
+class _QueryLedger:
+    """Per-query cost ledger for the batch engine.
+
+    The batch engine never routes I/O through the shared buffer pool —
+    interleaving queries would corrupt each query's cold-cache accounting.
+    Instead every page read the sequential cold query would issue is
+    recorded here in program order as an inclusive page-id range, and
+    :meth:`settle` replays the expanded sequence against an LRU of the
+    pool's capacity to recover the exact logical/physical read counts.
+    """
+
+    __slots__ = (
+        "page_lo",
+        "page_hi",
+        "key_comparisons",
+        "distance_computations",
+        "distance_flops",
+    )
+
+    def __init__(self) -> None:
+        self.page_lo: List[int] = []
+        self.page_hi: List[int] = []
+        self.key_comparisons = 0
+        self.distance_computations = 0
+        self.distance_flops = 0
+
+    def read_range(self, lo: int, hi: int) -> None:
+        """Record reads of the contiguous page ids ``lo..hi`` inclusive."""
+        self.page_lo.append(lo)
+        self.page_hi.append(hi)
+
+    def settle(self, capacity: int) -> Tuple[int, int]:
+        """``(logical_reads, physical_reads)`` under a cold LRU pool."""
+        if not self.page_lo:
+            return 0, 0
+        sequence = self.page_sequence()
+        return int(sequence.size), cold_lru_physical_reads(
+            sequence, capacity
+        )
+
+    def page_sequence(self) -> np.ndarray:
+        """The full page-read sequence, ranges expanded, in read order."""
+        return multi_arange(
+            np.asarray(self.page_lo, dtype=np.int64),
+            np.asarray(self.page_hi, dtype=np.int64) + 1,
+        )
+
+
+def _settle_ledgers(
+    ledgers: List["_QueryLedger"], capacity: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(logical, physical)`` read counts for every ledger at once.
+
+    Equivalent to calling :meth:`_QueryLedger.settle` per ledger, but the
+    common case — every query's working set fits the pool, so physical
+    reads = distinct pages — is answered with ONE combined unique over
+    all queries (page ids offset into disjoint per-query blocks).  Only
+    queries whose distinct count exceeds the capacity fall back to the
+    exact per-query LRU replay.
+    """
+    n = len(ledgers)
+    logical = np.zeros(n, dtype=np.int64)
+    physical = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return logical, physical
+    lens = np.array(
+        [len(led.page_lo) for led in ledgers], dtype=np.int64
+    )
+    if not lens.any():
+        return logical, physical
+    los = np.concatenate(
+        [np.asarray(led.page_lo, dtype=np.int64) for led in ledgers]
+    )
+    his = np.concatenate(
+        [np.asarray(led.page_hi, dtype=np.int64) for led in ledgers]
+    )
+    pages = multi_arange(los, his + 1)
+    run_lens = his - los + 1
+    query_of_page = np.repeat(
+        np.repeat(np.arange(n, dtype=np.int64), lens), run_lens
+    )
+    logical = np.bincount(query_of_page, minlength=n)
+    stride = int(pages.max()) + 1 if pages.size else 1
+    distinct_keys = np.unique(query_of_page * stride + pages)
+    physical = np.bincount(distinct_keys // stride, minlength=n)
+    over = np.flatnonzero(physical > capacity)
+    for qi in over.tolist():
+        physical[qi] = cold_lru_physical_reads(
+            ledgers[qi].page_sequence(), capacity
+        )
+    return logical, physical
+
+
 class ExtendedIDistance(VectorIndex):
     """The paper's extended iDistance over a :class:`ReducedDataset`."""
 
@@ -133,6 +239,10 @@ class ExtendedIDistance(VectorIndex):
         if self.radius_step <= 0:
             self.radius_step = 1e-6
         self._rid_location = self._build_rid_map()
+        # Locations of dynamically inserted rids (possibly sparse / beyond
+        # the bulk id range); positions count past the bulk arrays into the
+        # partition's delta store.
+        self._delta_location: Dict[int, Tuple[int, int]] = {}
         self.tree = BPlusTree(self.store, self.pool)
         self._bulk_load_tree()
         # Entry rank -> leaf page, for charging tree I/O during scans: the
@@ -282,6 +392,10 @@ class ExtendedIDistance(VectorIndex):
         self.tree.insert(best.index * self.c + offset, int(rid))
         best.delta_vectors.append(vector)
         best.delta_rids.append(int(rid))
+        self._delta_location[int(rid)] = (
+            best.index,
+            best.rids.size + len(best.delta_rids) - 1,
+        )
         best.max_radius = max(best.max_radius, offset)
         best.min_radius = min(best.min_radius, offset)
         # Delta vectors pack into pages of their own (charged on scan).
@@ -298,6 +412,31 @@ class ExtendedIDistance(VectorIndex):
             )
         self.n_inserted = getattr(self, "n_inserted", 0) + 1
         return best.index
+
+    def locate(self, rid: int) -> Tuple[int, int]:
+        """Where a record id lives: ``(partition_index, position)``.
+
+        ``position`` indexes the partition's key-ordered layout: positions
+        below ``partition.rids.size`` address the bulk-loaded arrays
+        (``partition.vectors[position]``); positions at or above it address
+        the delta store (``position - partition.rids.size`` into
+        ``partition.delta_vectors``), in insertion order.  Bulk locations
+        come from the rid map built at load time; dynamic inserts register
+        themselves as they arrive.  Raises ``KeyError`` for unknown rids.
+        """
+        rid = int(rid)
+        if (
+            0 <= rid < self._rid_location.shape[0]
+            and self._rid_location[rid, 0] >= 0
+        ):
+            return (
+                int(self._rid_location[rid, 0]),
+                int(self._rid_location[rid, 1]),
+            )
+        location = self._delta_location.get(rid)
+        if location is None:
+            raise KeyError(f"rid {rid} is not in the index")
+        return location
 
     # ------------------------------------------------------------------
     # search
@@ -541,3 +680,424 @@ class ExtendedIDistance(VectorIndex):
             dists, rids = dists[keep], rids[keep]
         for dist, rid in zip(dists, rids):
             offer(float(dist), int(rid))
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+
+    def _knn_batch(
+        self, queries: np.ndarray, k: int, tracer: Tracer
+    ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
+        """Shared-scan batch engine, bit-identical to a cold :meth:`knn` loop.
+
+        Every query expands its search radius in lockstep.  Per partition
+        and radius step, the still-active queries' directional block
+        boundaries come from *vectorized* searchsorted calls (same float
+        comparisons as the sequential binary searches), and all of their
+        not-yet-visited candidates are scored by ONE gather kernel —
+        ``vectors[flat_positions] - q_proj[query_of_entry]`` reduced over
+        the last axis — whose entries are bit-identical to the sequential
+        per-block norms (see :mod:`repro.linalg.kernels`).  Only top-K heap
+        maintenance stays per query, consuming each query's segments in the
+        sequential order (inward then outward, ascending positions, with
+        the k-th-best pre-filter refreshed between segments) so heap tie
+        behavior is preserved exactly.
+
+        I/O is not replayed through the shared buffer pool — interleaving
+        queries would corrupt the per-query cold-cache page accounting.
+        Each query instead logs its page-read sequence in a
+        :class:`_QueryLedger` (tree descents replayed via
+        :meth:`~repro.btree.tree.BPlusTree.descend_path`) and settles it
+        against an exact LRU replay at the end; the batch totals are then
+        folded into the index's own counters.
+        """
+        n_queries = queries.shape[0]
+        if n_queries == 0:
+            return (
+                np.empty((0, 0), dtype=np.int64),
+                np.empty((0, 0), dtype=np.float64),
+                [],
+            )
+        k_eff = min(
+            k, self.reduced.n_points + getattr(self, "n_inserted", 0)
+        )
+        n_parts = len(self.partitions)
+
+        # Per-partition query geometry.  Projections stay per-query gemv
+        # calls (a stacked gemm is NOT bit-identical to gemv rows — see
+        # repro.linalg.kernels), gathered into one (Q, width) array per
+        # partition so the scan kernels can index rows by query.
+        q_proj: List[np.ndarray] = []
+        q_dist = np.empty((n_parts, n_queries), dtype=np.float64)
+        with tracer.span(
+            "knn.batch.project_queries",
+            n_queries=n_queries,
+            partitions=n_parts,
+        ):
+            for partition in self.partitions:
+                block = np.empty(
+                    (n_queries, partition.vectors.shape[1]),
+                    dtype=np.float64,
+                )
+                centroid = partition.centroid
+                row = q_dist[partition.index]
+                subspace = partition.subspace
+                # sqrt(x·x) below is bit-identical to np.linalg.norm on
+                # a 1-d vector (norm computes exactly this) at a fraction
+                # of the call overhead; the projection keeps the same
+                # per-query `(q - mean) @ basis` gemv as project().
+                if subspace is not None:
+                    mean, basis = subspace.mean, subspace.basis
+                    for i in range(n_queries):
+                        proj = (queries[i] - mean) @ basis
+                        block[i] = proj
+                        diff = proj - centroid
+                        row[i] = math.sqrt(float(np.dot(diff, diff)))
+                else:
+                    block[:] = queries
+                    for i in range(n_queries):
+                        diff = queries[i] - centroid
+                        row[i] = math.sqrt(float(np.dot(diff, diff)))
+                q_proj.append(block)
+
+        # Frozen copies of each partition's delta store (dynamic inserts).
+        delta_blocks: List[Optional[np.ndarray]] = [
+            np.vstack(p.delta_vectors) if p.delta_rids else None
+            for p in self.partitions
+        ]
+
+        sizes = np.array(
+            [p.size for p in self.partitions], dtype=np.int64
+        )
+        live = sizes > 0
+        if live.any():
+            radii = np.array([p.max_radius for p in self.partitions])
+            max_needed = (q_dist[live] + radii[live, None]).max(axis=0)
+        else:
+            max_needed = np.zeros(n_queries)
+
+        heaps: List[List[Tuple[float, int]]] = [
+            [] for _ in range(n_queries)
+        ]
+        # Heap representation is *lazy*: after a vectorized top-K merge the
+        # list holds the exact content but not heap order, flagged here, and
+        # is heapified on demand before any heapq operation — heapify of
+        # equivalent content is exact, so behavior is unchanged.  heap_dist
+        # caches the content's distances (aligned with the list) so the
+        # next merge can reuse them instead of re-extracting per entry.
+        heap_lazy = bytearray(n_queries)
+        heap_dist: List[Optional[np.ndarray]] = [None] * n_queries
+        kth = np.full(n_queries, np.inf)
+        active = np.ones(n_queries, dtype=bool)
+        contacted = np.zeros((n_parts, n_queries), dtype=bool)
+        in_pos = np.zeros((n_parts, n_queries), dtype=np.int64)
+        out_pos = np.zeros((n_parts, n_queries), dtype=np.int64)
+        ledgers = [_QueryLedger() for _ in range(n_queries)]
+        total_expansions = 0
+
+        leaf_pages = self._leaf_pages
+        # Bulk-loaded leaves get consecutive page ids; record leaf runs as
+        # ranges when that holds, else as per-leaf singletons.
+        leaf_runs = leaf_pages.size <= 1 or bool(
+            (np.diff(leaf_pages) == 1).all()
+        )
+        fill = self._leaf_fill
+        radius = self.radius_step
+
+        def probe(partition: _Partition, act: np.ndarray) -> None:
+            """Advance every active query's scan of one partition to cover
+            the key interval ``[d_i - radius, d_i + radius]``."""
+            p = partition.index
+            offsets = partition.offsets
+            bulk = offsets.size
+            Qp = q_proj[p]
+            width_charge = max(1, partition.vectors.shape[1])
+
+            # First contact per query: the annulus-intersection gate, the
+            # tree descent to the seek leaf, and the delta-store scoring —
+            # identical to the sequential scan's cursor opening.
+            fresh = act[~contacted[p, act]]
+            if fresh.size:
+                d_f = q_dist[p, fresh]
+                touch = (d_f - radius <= partition.max_radius) & (
+                    d_f + radius >= partition.min_radius
+                )
+                for qi in fresh[touch].tolist():
+                    d_i = float(q_dist[p, qi])
+                    led = ledgers[qi]
+                    seek = min(
+                        max(d_i, partition.min_radius),
+                        partition.max_radius,
+                    )
+                    pages, comps = self.tree.descend_path(
+                        p * self.c + seek
+                    )
+                    for page in pages:
+                        led.read_range(page, page)
+                    led.key_comparisons += comps
+                    pos = int(np.searchsorted(offsets, seek))
+                    in_pos[p, qi] = pos - 1
+                    out_pos[p, qi] = pos
+                    contacted[p, qi] = True
+                    if partition.delta_rids:
+                        for page in partition.delta_pages:
+                            led.read_range(page, page)
+                        dblock = delta_blocks[p]
+                        ddists = np.linalg.norm(dblock - Qp[qi], axis=1)
+                        led.distance_computations += dblock.shape[0]
+                        led.distance_flops += dblock.shape[0] * max(
+                            1, dblock.shape[1]
+                        )
+                        heap = heaps[qi]
+                        if heap_lazy[qi]:
+                            heapq.heapify(heap)
+                            heap_lazy[qi] = 0
+                        heap_dist[qi] = None
+                        for dist, rid in zip(
+                            ddists.tolist(), partition.delta_rids
+                        ):
+                            if len(heap) < k_eff:
+                                heapq.heappush(heap, (-dist, rid))
+                            elif dist < -heap[0][0]:
+                                heapq.heapreplace(heap, (-dist, rid))
+                        kth[qi] = (
+                            -heap[0][0] if len(heap) == k_eff else np.inf
+                        )
+
+            sub = act[contacted[p, act]]
+            if sub.size == 0 or bulk == 0:
+                return
+            d_vec = q_dist[p, sub]
+            # Per-query search bound, then both directions' block
+            # boundaries, all in four vectorized searchsorted/compare ops.
+            # Position bookkeeping mirrors _advance exactly: an exhausted
+            # direction parks at -1 (inward) or bulk (outward).
+            bound = np.minimum(radius, kth[sub])
+            i_hi = in_pos[p, sub]  # inclusive
+            i_lo = np.searchsorted(offsets, d_vec - bound, side="left")
+            i_has = (i_hi >= 0) & (i_lo <= i_hi)
+            o_lo = out_pos[p, sub]
+            o_hi = np.searchsorted(offsets, d_vec + bound, side="right")
+            o_has = (o_lo < bulk) & (o_hi > o_lo)
+            if not (i_has.any() or o_has.any()):
+                return
+            in_start = np.where(i_has, i_lo, 0)
+            in_stop = np.where(i_has, i_hi + 1, 0)
+            out_start = np.where(o_has, o_lo, 0)
+            out_stop = np.where(o_has, o_hi, 0)
+            in_pos[p, sub[i_has]] = i_lo[i_has] - 1
+            out_pos[p, sub[o_has]] = o_hi[o_has]
+
+            # Interleave [inward, outward] segments per query.  Long
+            # segments are scored per segment on contiguous views (the
+            # very op the sequential scan runs — no gather copies);
+            # everything shorter is batched into ONE gather kernel so
+            # small per-query slabs don't pay numpy call overhead each.
+            starts = np.column_stack([in_start, out_start]).ravel()
+            stops = np.column_stack([in_stop, out_stop]).ravel()
+            lens = stops - starts
+            if not lens.any():
+                return
+            small = lens < _BATCH_SEG_VIEW_MIN
+            small_lens = np.where(small, lens, 0)
+            flat = multi_arange(starts, np.where(small, stops, starts))
+            if flat.size:
+                entry_q = np.repeat(np.repeat(sub, 2), small_lens)
+                dists_flat = flat_l2(
+                    partition.vectors, flat, Qp, entry_q
+                )
+                rids_flat = partition.rids[flat]
+            seg_start = np.concatenate(
+                [[0], np.cumsum(small_lens)[:-1]]
+            )
+            vectors = partition.vectors
+            rids_all = partition.rids
+            rank0 = int(self._rank_base[p])
+            page_of_entry = partition.page_of_entry
+
+            # Hoist all per-segment I/O-replay lookups out of the Python
+            # loop: leaf/data page bounds for every segment in four array
+            # ops, materialized as plain-int lists once.  Empty segments
+            # (stop == start) index position 0 / start harmlessly; the
+            # loop skips them before the values are used.
+            safe_hi = np.maximum(stops - 1, starts)
+            leaf_a_arr = (rank0 + starts) // fill
+            leaf_b_arr = (rank0 + safe_hi) // fill
+            if leaf_runs:
+                leaf_lo_list = leaf_pages[leaf_a_arr].tolist()
+                leaf_hi_list = leaf_pages[leaf_b_arr].tolist()
+            else:
+                leaf_a_list = leaf_a_arr.tolist()
+                leaf_b_list = leaf_b_arr.tolist()
+            pg_lo_list = page_of_entry[starts].tolist()
+            pg_hi_list = page_of_entry[safe_hi].tolist()
+            lens_list = lens.tolist()
+            starts_list = starts.tolist()
+            small_list = small.tolist()
+            seg_start_list = seg_start.tolist()
+            sub_list = sub.tolist()
+
+            per_q = lens[0::2] + lens[1::2]
+            for j in np.flatnonzero(per_q > 0).tolist():
+                qi = sub_list[j]
+                led = ledgers[qi]
+                heap = heaps[qi]
+                for seg in (2 * j, 2 * j + 1):
+                    ln = lens_list[seg]
+                    if ln == 0:
+                        continue
+                    # I/O replay: the leaf run covering the block's entry
+                    # ranks, then its contiguous data-page run.
+                    if leaf_runs:
+                        led.read_range(
+                            leaf_lo_list[seg], leaf_hi_list[seg]
+                        )
+                    else:
+                        for leaf_idx in range(
+                            leaf_a_list[seg], leaf_b_list[seg] + 1
+                        ):
+                            page = int(leaf_pages[leaf_idx])
+                            led.read_range(page, page)
+                    led.read_range(pg_lo_list[seg], pg_hi_list[seg])
+                    led.key_comparisons += ln
+                    led.distance_computations += ln
+                    led.distance_flops += ln * width_charge
+                    if small_list[seg]:
+                        s0 = seg_start_list[seg]
+                        seg_d = dists_flat[s0 : s0 + ln]
+                        seg_r = rids_flat[s0 : s0 + ln]
+                    else:
+                        lo_pos = starts_list[seg]
+                        # Inline norm: np.linalg.norm(diff, axis=1) IS
+                        # sqrt(add.reduce((x.conj()*x).real, axis)) —
+                        # same multiplies, same pairwise reduction, same
+                        # sqrt — minus the dispatch overhead per call.
+                        # In-place squaring/sqrt reuse the temporaries;
+                        # the values are the same ops on the same bits.
+                        diff = vectors[lo_pos : lo_pos + ln] - Qp[qi]
+                        np.multiply(diff, diff, out=diff)
+                        seg_d = np.add.reduce(diff, axis=1)
+                        np.sqrt(seg_d, out=seg_d)
+                        seg_r = rids_all[lo_pos : lo_pos + ln]
+                    # kth[qi] is maintained at every heap mutation, so it
+                    # IS the sequential path's "current k-th best" here.
+                    current = kth[qi]
+                    if current != np.inf:
+                        keep = seg_d < current
+                        seg_d = seg_d[keep]
+                        seg_r = seg_r[keep]
+                    if seg_d.size >= 48:
+                        # Vectorized top-K merge.  Heap behavior depends
+                        # only on heap *content* (heapq always pops the
+                        # minimum tuple), and streaming offers with a
+                        # strict < keep exactly the k smallest of
+                        # {heap ∪ segment} whenever the k-th smallest
+                        # distance is unique in that union; only a tie
+                        # at the selection boundary is order-dependent,
+                        # and then we fall back to the literal offer
+                        # loop.  Either way the resulting content — and
+                        # so every later comparison — is bit-identical.
+                        inc = heap_dist[qi]
+                        if inc is None:
+                            inc = np.array(
+                                [-entry[0] for entry in heap],
+                                dtype=np.float64,
+                            )
+                            heap_dist[qi] = inc
+                        union_d = np.concatenate([inc, seg_d])
+                        if union_d.size > k_eff:
+                            top = np.argpartition(union_d, k_eff - 1)[
+                                :k_eff
+                            ]
+                            boundary = union_d[top].max()
+                            if int((union_d == boundary).sum()) == 1:
+                                n_inc = len(heap)
+                                heap = heaps[qi] = [
+                                    heap[t]
+                                    if t < n_inc
+                                    else (
+                                        -float(seg_d[t - n_inc]),
+                                        int(seg_r[t - n_inc]),
+                                    )
+                                    for t in top.tolist()
+                                ]
+                                heap_dist[qi] = union_d[top]
+                                heap_lazy[qi] = 1
+                                kth[qi] = boundary
+                                continue
+                    if heap_lazy[qi]:
+                        heapq.heapify(heap)
+                        heap_lazy[qi] = 0
+                    heap_dist[qi] = None
+                    for dist, rid in zip(
+                        seg_d.tolist(), seg_r.tolist()
+                    ):
+                        if len(heap) < k_eff:
+                            heapq.heappush(heap, (-dist, rid))
+                        elif dist < -heap[0][0]:
+                            heapq.heapreplace(heap, (-dist, rid))
+                    kth[qi] = (
+                        -heap[0][0] if len(heap) == k_eff else np.inf
+                    )
+
+        while True:
+            act = np.flatnonzero(active)
+            if act.size == 0:
+                break
+            total_expansions += act.size
+            with tracer.span(
+                "knn.batch.expand_radius",
+                radius=radius,
+                active_queries=int(act.size),
+            ):
+                for partition in self.partitions:
+                    if partition.size == 0:
+                        continue
+                    probe(partition, act)
+            done = (np.isfinite(kth[act]) & (kth[act] <= radius)) | (
+                radius > max_needed[act]
+            )
+            active[act[done]] = False
+            radius += self.radius_step
+
+        # Settle: per-query LRU replay of the recorded page sequences,
+        # per-query result ordering, and one fold of the batch totals into
+        # the index's counters.
+        capacity = self.pool.capacity_pages
+        stats: List[QueryStats] = []
+        ids = np.empty((n_queries, k_eff), dtype=np.int64)
+        distances = np.empty((n_queries, k_eff), dtype=np.float64)
+        with tracer.span("knn.batch.settle", n_queries=n_queries):
+            logical, physical = _settle_ledgers(ledgers, capacity)
+            for qi in range(n_queries):
+                led = ledgers[qi]
+                ordered = sorted((-d, rid) for d, rid in heaps[qi])
+                ids[qi] = [rid for _, rid in ordered]
+                distances[qi] = [d for d, _ in ordered]
+                stats.append(
+                    QueryStats(
+                        page_reads=int(physical[qi]),
+                        distance_computations=led.distance_computations,
+                        distance_flops=led.distance_flops,
+                        key_comparisons=led.key_comparisons,
+                        cpu_seconds=0.0,
+                    )
+                )
+        self.counters.merge(
+            CostSnapshot(
+                logical_reads=int(logical.sum()),
+                physical_reads=int(physical.sum()),
+                key_comparisons=sum(
+                    led.key_comparisons for led in ledgers
+                ),
+                distance_computations=sum(
+                    led.distance_computations for led in ledgers
+                ),
+                distance_flops=sum(
+                    led.distance_flops for led in ledgers
+                ),
+            )
+        )
+        if tracer.enabled:
+            tracer.counter("knn.radius_expansions").inc(total_expansions)
+        return ids, distances, stats

@@ -14,10 +14,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..linalg.kernels import batch_l2_rows
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
+from ..storage.metrics import CostSnapshot
 from ..storage.pager import pages_for_vectors
-from .base import DEFAULT_POOL_PAGES, KNNResult, VectorIndex
+from .base import DEFAULT_POOL_PAGES, KNNResult, QueryStats, VectorIndex
 
 __all__ = ["SequentialScan"]
 
@@ -109,3 +111,77 @@ class SequentialScan(VectorIndex):
         order = np.argsort(distances[top])
         best = top[order]
         return ids[best], distances[best]
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+
+    def _knn_batch(self, queries: np.ndarray, k: int, tracer: Tracer):
+        """One-shot full-matrix scan for the whole workload.
+
+        Every subspace contributes a single ``(Q, m)`` distance block
+        (bit-identical per row to the per-query scan — see
+        :mod:`repro.linalg.kernels`); top-K selection runs the same
+        argpartition/argsort pair row-wise.  Queries are still projected
+        one at a time with the per-query gemv the sequential path uses,
+        because a gemm over the stacked queries is *not* bit-identical.
+        """
+        n_queries = queries.shape[0]
+        k = min(k, self.reduced.n_points)
+        distance_computations = 0
+        distance_flops = 0
+        dist_blocks: List[np.ndarray] = []
+        id_chunks: List[np.ndarray] = []
+        with tracer.span(
+            "knn.sequential_scan_batch",
+            counters=self.counters,
+            n_queries=n_queries,
+            pages=self.scan_pages,
+        ):
+            for subspace in self.reduced.subspaces:
+                q_proj = np.empty(
+                    (n_queries, subspace.reduced_dim), dtype=np.float64
+                )
+                for i in range(n_queries):
+                    q_proj[i] = subspace.project(queries[i])
+                dist_blocks.append(
+                    batch_l2_rows(subspace.projections, q_proj)
+                )
+                id_chunks.append(subspace.member_ids)
+                distance_computations += subspace.size
+                distance_flops += subspace.size * subspace.reduced_dim
+            outliers = self.reduced.outliers
+            if outliers.size:
+                dist_blocks.append(batch_l2_rows(outliers.points, queries))
+                id_chunks.append(outliers.member_ids)
+                distance_computations += outliers.size
+                distance_flops += (
+                    outliers.size * self.reduced.dimensionality
+                )
+
+            ids = np.concatenate(id_chunks)
+            distances = np.concatenate(dist_blocks, axis=1)
+            top = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            gathered = np.take_along_axis(distances, top, axis=1)
+            order = np.argsort(gathered, axis=1)
+            best = np.take_along_axis(top, order, axis=1)
+            best_ids = ids[best]
+            best_dists = np.take_along_axis(distances, best, axis=1)
+
+            per_query = QueryStats(
+                page_reads=self.scan_pages,
+                distance_computations=distance_computations,
+                distance_flops=distance_flops,
+                key_comparisons=0,
+                cpu_seconds=0.0,
+            )
+            self.counters.merge(
+                CostSnapshot(
+                    sequential_reads=self.scan_pages * n_queries,
+                    distance_computations=(
+                        distance_computations * n_queries
+                    ),
+                    distance_flops=distance_flops * n_queries,
+                )
+            )
+        return best_ids, best_dists, [per_query] * n_queries

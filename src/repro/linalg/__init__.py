@@ -7,8 +7,16 @@ Definitions 3.2–3.5 map one-to-one onto this subpackage:
   (multi-level projections) and the ``ProjDist_r`` half of Definition 3.4.
 * :class:`ClusterShape` — Definition 3.2 (MahaDist and normalized MahaDist).
 * :func:`random_orthonormal` — the Appendix-A rotation step.
+* :mod:`~repro.linalg.kernels` — bit-exact batched distance kernels and the
+  cold-LRU replay used by the batch query engine.
 """
 
+from .kernels import (
+    batch_l2_rows,
+    cold_lru_physical_reads,
+    flat_l2,
+    multi_arange,
+)
 from .mahalanobis import ClusterShape, Normalization, estimate_covariance
 from .pca import PCAModel, fit_pca, project, reconstruct, residual_norms
 from .rotation import is_orthonormal, random_orthonormal
@@ -17,9 +25,13 @@ __all__ = [
     "ClusterShape",
     "Normalization",
     "PCAModel",
+    "batch_l2_rows",
+    "cold_lru_physical_reads",
     "estimate_covariance",
     "fit_pca",
+    "flat_l2",
     "is_orthonormal",
+    "multi_arange",
     "project",
     "random_orthonormal",
     "reconstruct",

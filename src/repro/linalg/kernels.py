@@ -1,0 +1,138 @@
+"""Vectorized kernels shared by the batch query engine.
+
+The batch KNN paths (:meth:`repro.index.base.VectorIndex.knn_batch`) promise
+*bit-identical* results to the per-query search.  That rules out the usual
+``cdist`` expansion ``sqrt(x·x - 2x·q + q·q)``, whose re-association changes
+the last ulp, and also rules out replacing the per-query ``(d,) @ (d, d_r)``
+projection with one ``(Q, d) @ (d, d_r)`` matmul (BLAS picks different
+kernels for gemv vs gemm, and their row results differ bit-wise — measured,
+not hypothetical).  What *is* safe is broadcasting the subtraction and
+reducing the contiguous last axis: numpy's pairwise summation tree depends
+only on the length and layout of the reduced axis, so
+
+    np.linalg.norm(P[None, :, :] - Q[:, None, :], axis=2)[i]
+        == np.linalg.norm(P - Q[i], axis=1)          # bit-for-bit
+
+holds for C-contiguous inputs.  The helpers here package that identity (plus
+the flat gather variant the iDistance scan uses) with query-chunking so the
+broadcast buffer stays bounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["multi_arange", "batch_l2_rows", "flat_l2", "cold_lru_physical_reads"]
+
+#: Cap on the number of float64 elements a broadcast diff buffer may hold
+#: (~64 MiB).  Chunking slices the *query* axis only, so each output row is
+#: still produced by one contiguous last-axis reduction — bit-identity holds.
+_MAX_BUFFER_ELEMS = 1 << 23
+
+
+def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], stops[i])`` for every segment.
+
+    Segments may be empty (``stops[i] == starts[i]``); ``stops`` must be
+    >= ``starts`` elementwise.  Output order is segment order, ascending
+    within each segment — exactly the order a per-segment Python loop of
+    ``np.arange`` calls would produce, without the per-segment overhead.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lengths = stops - starts
+    if np.any(lengths < 0):
+        raise ValueError("multi_arange requires stops >= starts")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    seg_starts = ends - lengths  # first output index of each segment
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, lengths)
+    return np.repeat(starts, lengths) + within
+
+
+def batch_l2_rows(points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """``(Q, n)`` matrix whose row ``i`` is bit-identical to
+    ``np.linalg.norm(points - queries[i], axis=1)``.
+
+    ``points`` is ``(n, d)``, ``queries`` is ``(Q, d)``.  Queries are
+    processed in chunks so the ``(q, n, d)`` diff buffer stays under
+    ~64 MiB; chunk boundaries cannot affect bit-identity because each
+    output row's reduction runs over its own contiguous length-``d`` run.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    n, d = points.shape
+    n_queries = queries.shape[0]
+    out = np.empty((n_queries, n), dtype=np.float64)
+    if n == 0 or n_queries == 0:
+        return out
+    chunk = max(1, _MAX_BUFFER_ELEMS // max(1, n * d))
+    for lo in range(0, n_queries, chunk):
+        hi = min(lo + chunk, n_queries)
+        diff = points[None, :, :] - queries[lo:hi, None, :]
+        out[lo:hi] = np.linalg.norm(diff, axis=2)
+    return out
+
+
+def flat_l2(
+    points: np.ndarray, positions: np.ndarray, queries: np.ndarray,
+    query_of_entry: np.ndarray,
+) -> np.ndarray:
+    """Per-entry distances ``||points[positions[e]] - queries[query_of_entry[e]]||``.
+
+    This is the shared-scan kernel: every (query, candidate) pair the batch
+    scan needs is one row of a single ``(N, d)`` elementwise subtraction, so
+    no distances are computed for pairs no query asked for, and each entry is
+    bit-identical to the sequential per-block
+    ``np.linalg.norm(block - q_proj, axis=1)``.
+
+    Large gathers are chunked along the entry axis so the two gathered
+    ``(N, d)`` temporaries stay cache-friendly instead of forcing fresh
+    multi-hundred-MB allocations; rows are independent, so chunk boundaries
+    cannot affect bit-identity.
+    """
+    n = positions.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    d = points.shape[1]
+    out = np.empty(n, dtype=np.float64)
+    chunk = max(1, _MAX_BUFFER_ELEMS // (4 * max(1, d)))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        diff = points[positions[lo:hi]] - queries[query_of_entry[lo:hi]]
+        out[lo:hi] = np.linalg.norm(diff, axis=1)
+    return out
+
+
+def cold_lru_physical_reads(page_sequence: np.ndarray, capacity: int) -> int:
+    """Physical reads a cold LRU buffer pool of ``capacity`` pages performs
+    for ``page_sequence`` (in order), mirroring
+    :class:`repro.storage.buffer.BufferPool` exactly.
+
+    Fast path: while the pool never fills, every first touch misses and
+    every revisit hits, so physical reads = distinct pages.  Only when the
+    working set exceeds the capacity does eviction order matter, and then
+    the sequence is replayed through an exact LRU model (hit moves to MRU,
+    overflow evicts LRU) — the same policy ``BufferPool.read``/``_admit``
+    implement.
+    """
+    if page_sequence.size == 0:
+        return 0
+    distinct = int(np.unique(page_sequence).size)
+    if distinct <= capacity:
+        return distinct
+    resident: OrderedDict[int, bool] = OrderedDict()
+    physical = 0
+    for page in page_sequence.tolist():
+        if page in resident:
+            resident.move_to_end(page)
+            continue
+        physical += 1
+        resident[page] = True
+        if len(resident) > capacity:
+            resident.popitem(last=False)
+    return physical

@@ -1,0 +1,284 @@
+"""Batch / parallel execution must be bit-identical to the per-query loop.
+
+The batched engine (:meth:`VectorIndex.knn_batch`) and the parallel harness
+(``run_query_batch(..., workers=N)``) exist purely to amortize per-query
+overhead — the contract is that results AND cold-cache cost accounting are
+bit-for-bit those of a sequential ``knn`` loop.  These tests enforce that
+contract on every scheme, in property style: many queries, several k values,
+dynamic inserts, tracer on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.data.workload import QueryWorkload, sample_queries
+from repro.eval.harness import run_query_batch, run_workload
+from repro.index.global_ldr import GlobalLDRIndex
+from repro.index.idistance import ExtendedIDistance
+from repro.index.seqscan import SequentialScan
+from repro.obs.tracer import Tracer
+from repro.reduction.mmdr_adapter import model_to_reduced
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(
+        two_cluster_dataset.points, np.random.default_rng(5)
+    )
+    return two_cluster_dataset, model_to_reduced(model)
+
+
+@pytest.fixture(scope="module")
+def workload(two_cluster_dataset):
+    return sample_queries(
+        two_cluster_dataset.points,
+        20,
+        np.random.default_rng(9),
+        k=10,
+        method="perturbed",
+    )
+
+
+SCHEMES = [ExtendedIDistance, SequentialScan, GlobalLDRIndex]
+
+
+def sequential_reference(index, workload):
+    """The ground truth: a cold per-query knn loop."""
+    ids, dists, stats = [], [], []
+    for query in workload.queries:
+        index.reset_cache()
+        res = index.knn(query, workload.k)
+        ids.append(res.ids)
+        dists.append(res.distances)
+        stats.append(res.stats)
+    return np.vstack(ids), np.vstack(dists), stats
+
+
+def assert_equivalent(seq, batch):
+    seq_ids, seq_dists, seq_stats = seq
+    batch_ids, batch_dists, batch_stats = batch
+    assert np.array_equal(seq_ids, batch_ids)
+    assert np.array_equal(seq_dists, batch_dists)
+    for a, b in zip(seq_stats, batch_stats):
+        assert a.page_reads == b.page_reads
+        assert a.distance_computations == b.distance_computations
+        assert a.distance_flops == b.distance_flops
+        assert a.key_comparisons == b.key_comparisons
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_knn_batch_bit_identical(self, scheme, reduced, workload):
+        _, red = reduced
+        seq = sequential_reference(scheme(red), workload)
+        index = scheme(red)
+        res = index.knn_batch(workload.queries, workload.k)
+        assert_equivalent(seq, (res.ids, res.distances, list(res.stats)))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_parallel_workers_bit_identical(self, scheme, reduced, workload):
+        _, red = reduced
+        seq = sequential_reference(scheme(red), workload)
+        index = scheme(red)
+        par = run_workload(index, workload, workers=2, use_batch=True)
+        assert_equivalent(seq, par)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_counters_match_sequential_totals(self, scheme, reduced, workload):
+        """Batch and parallel runs must leave the index's own counters at
+        exactly the sequential totals (deterministic fields)."""
+        _, red = reduced
+        ref = scheme(red)
+        sequential_reference(ref, workload)
+        fields = (
+            "logical_reads",
+            "physical_reads",
+            "sequential_reads",
+            "distance_computations",
+            "distance_flops",
+            "key_comparisons",
+        )
+        batch_index = scheme(red)
+        batch_index.knn_batch(workload.queries, workload.k)
+        par_index = scheme(red)
+        run_workload(par_index, workload, workers=3, use_batch=True)
+        for f in fields:
+            assert getattr(batch_index.counters, f) == getattr(
+                ref.counters, f
+            ), f
+            assert getattr(par_index.counters, f) == getattr(
+                ref.counters, f
+            ), f
+
+    @pytest.mark.parametrize("k", [1, 3, 17])
+    def test_k_sweep_on_idistance(self, k, reduced, two_cluster_dataset):
+        _, red = reduced
+        wl = sample_queries(
+            two_cluster_dataset.points, 12, np.random.default_rng(k), k=k
+        )
+        seq = sequential_reference(ExtendedIDistance(red), wl)
+        index = ExtendedIDistance(red)
+        res = index.knn_batch(wl.queries, wl.k)
+        assert_equivalent(seq, (res.ids, res.distances, list(res.stats)))
+
+    def test_after_dynamic_inserts(self, reduced, two_cluster_dataset):
+        """The shared scan must score delta (inserted) vectors exactly as
+        the sequential search does."""
+        _, red = reduced
+        rng = np.random.default_rng(31)
+
+        def build():
+            index = ExtendedIDistance(red)
+            r = np.random.default_rng(31)
+            for i in range(25):
+                base = two_cluster_dataset.points[
+                    r.integers(two_cluster_dataset.points.shape[0])
+                ]
+                index.insert(
+                    base + r.normal(0, 1e-3, base.shape), rid=2_000_000 + i
+                )
+            return index
+
+        wl = sample_queries(
+            two_cluster_dataset.points, 15, rng, k=8, method="perturbed"
+        )
+        seq = sequential_reference(build(), wl)
+        res = build().knn_batch(wl.queries, wl.k)
+        assert_equivalent(seq, (res.ids, res.distances, list(res.stats)))
+
+    def test_tracer_does_not_change_batch_results(self, reduced, workload):
+        _, red = reduced
+        plain = ExtendedIDistance(red).knn_batch(
+            workload.queries, workload.k
+        )
+        traced = ExtendedIDistance(red).knn_batch(
+            workload.queries, workload.k, tracer=Tracer()
+        )
+        assert np.array_equal(plain.ids, traced.ids)
+        assert np.array_equal(plain.distances, traced.distances)
+        for a, b in zip(plain.stats, traced.stats):
+            assert a.page_reads == b.page_reads
+            assert a.distance_computations == b.distance_computations
+
+    def test_batch_spans_emitted(self, reduced, workload):
+        _, red = reduced
+        tracer = Tracer()
+        ExtendedIDistance(red).knn_batch(
+            workload.queries, workload.k, tracer=tracer
+        )
+        names = [s.name for s in tracer.spans]
+        assert "knn.batch" in names
+        assert "knn.batch.project_queries" in names
+        assert "knn.batch.expand_radius" in names
+        assert tracer.metrics.gauge("knn.batch_qps").value > 0
+
+    def test_empty_and_single_query_batches(self, reduced, two_cluster_dataset):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        empty = index.knn_batch(np.empty((0, red.dimensionality)), 5)
+        assert empty.ids.shape[0] == 0
+        query = two_cluster_dataset.points[:1]
+        single = index.knn_batch(query, 3)
+        index.reset_cache()
+        one = index.knn(query[0], 3)
+        assert np.array_equal(single.ids[0], one.ids)
+        assert np.array_equal(single.distances[0], one.distances)
+
+
+class TestHarnessRouting:
+    def test_run_query_batch_routes_agree(self, reduced, workload):
+        _, red = reduced
+        ids_loop, ids_batch, ids_par = [], [], []
+        loop = run_query_batch(
+            ExtendedIDistance(red), workload, collect_ids=ids_loop
+        )
+        batch = run_query_batch(
+            ExtendedIDistance(red),
+            workload,
+            collect_ids=ids_batch,
+            use_batch=True,
+        )
+        par = run_query_batch(
+            ExtendedIDistance(red),
+            workload,
+            collect_ids=ids_par,
+            workers=2,
+            use_batch=True,
+        )
+        assert loop.mean_page_reads == batch.mean_page_reads
+        assert loop.mean_page_reads == par.mean_page_reads
+        assert (
+            loop.mean_distance_computations
+            == batch.mean_distance_computations
+            == par.mean_distance_computations
+        )
+        for a, b, c in zip(ids_loop, ids_batch, ids_par):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    def test_warm_cache_fast_paths_rejected(self, reduced, workload):
+        _, red = reduced
+        with pytest.raises(ValueError):
+            run_query_batch(
+                ExtendedIDistance(red),
+                workload,
+                cold_cache=False,
+                use_batch=True,
+            )
+        with pytest.raises(ValueError):
+            run_query_batch(
+                ExtendedIDistance(red), workload, cold_cache=False, workers=2
+            )
+
+    def test_more_workers_than_queries(self, reduced, two_cluster_dataset):
+        _, red = reduced
+        wl = sample_queries(
+            two_cluster_dataset.points, 3, np.random.default_rng(2), k=5
+        )
+        seq = sequential_reference(ExtendedIDistance(red), wl)
+        par = run_workload(
+            ExtendedIDistance(red), wl, workers=8, use_batch=True
+        )
+        assert_equivalent(seq, par)
+
+    def test_workload_chunks_contiguous(self, workload):
+        chunks = workload.chunks(3)
+        assert sum(c.n_queries for c in chunks) == workload.n_queries
+        reassembled = np.vstack([c.queries for c in chunks])
+        assert np.array_equal(reassembled, workload.queries)
+        with pytest.raises(ValueError):
+            workload.chunks(0)
+
+
+class TestLocate:
+    def test_bulk_rids_locatable(self, reduced):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        for partition in index.partitions:
+            if partition.size == 0:
+                continue
+            rid = int(partition.rids[partition.size // 2])
+            p, pos = index.locate(rid)
+            assert p == partition.index
+            assert int(partition.rids[pos]) == rid
+
+    def test_inserted_rids_locatable(self, reduced, two_cluster_dataset):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        base = two_cluster_dataset.points[7]
+        partition = index.insert(base + 1e-5, rid=3_000_000)
+        p, pos = index.locate(3_000_000)
+        assert p == partition
+        part = index.partitions[p]
+        assert pos >= part.rids.size  # delta store positions sit past bulk
+        delta_pos = pos - part.rids.size
+        assert part.delta_rids[delta_pos] == 3_000_000
+
+    def test_unknown_rid_raises(self, reduced):
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        with pytest.raises(KeyError):
+            index.locate(987_654_321)
+        with pytest.raises(KeyError):
+            index.locate(-1)
