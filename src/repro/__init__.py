@@ -45,11 +45,13 @@ from .core import (
 from .index import (
     ExtendedIDistance,
     GlobalLDRIndex,
+    InvalidQueryError,
     KNNResult,
     SequentialScan,
 )
 from .linalg import ClusterShape, PCAModel, fit_pca
 from .obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
+from .persist import load_index, save_index
 from .reduction import (
     GDRReducer,
     LDRReducer,
@@ -69,6 +71,7 @@ __all__ = [
     "ExtendedIDistance",
     "GDRReducer",
     "GlobalLDRIndex",
+    "InvalidQueryError",
     "KNNResult",
     "LDRReducer",
     "MMDR",
@@ -87,6 +90,8 @@ __all__ = [
     "SequentialScan",
     "fit_pca",
     "kmeans",
+    "load_index",
     "model_to_reduced",
+    "save_index",
     "__version__",
 ]

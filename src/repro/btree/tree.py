@@ -155,20 +155,23 @@ class BPlusTree:
 
         The batch KNN engine replays tree descents through per-query cost
         ledgers instead of the shared pool; this keeps the replayed I/O and
-        CPU accounting exactly equal to a live descent.
+        CPU accounting exactly equal to a live descent.  Replay models no
+        real I/O, so it uses ``raw_fetch`` and never observes injected
+        faults (the live descent it mirrors already paid — and retried —
+        them through the buffer pool).
         """
         if self.root_page is None:
             raise RuntimeError("tree is empty; bulk_load or insert first")
         page_id = self.root_page
         pages = [page_id]
         comparisons = 0
-        node = self.store.fetch(page_id).payload
+        node = self.store.raw_fetch(page_id).payload
         while not node.is_leaf:
             idx = bisect.bisect_left(node.separators, key)
             comparisons += max(1, len(node.separators).bit_length())
             page_id = node.children[idx]
             pages.append(page_id)
-            node = self.store.fetch(page_id).payload
+            node = self.store.raw_fetch(page_id).payload
         return pages, comparisons
 
     def search(self, key: float) -> List[int]:
@@ -327,7 +330,7 @@ class BPlusTree:
         page_id = self._first_leaf
         while page_id is not None:
             pages.append(page_id)
-            page_id = self.store.fetch(page_id).payload.next_page
+            page_id = self.store.raw_fetch(page_id).payload.next_page
         return pages
 
 

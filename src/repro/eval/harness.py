@@ -17,6 +17,14 @@ accounting under the cold-cache protocol):
   copy-on-write, or deep-copied thread-local indexes as a fallback),
   reassembling results chunk by chunk and folding each worker's counter
   delta back into the parent index in chunk order.
+
+The parallel path is self-healing (DESIGN.md §9): each chunk runs under an
+optional per-chunk timeout, a failed or timed-out chunk is retried once on
+a fresh worker pool, and chunks that fail both rounds degrade to in-process
+sequential execution — so a killed fork, a hung worker, or a poisoned
+executor still yields complete, correct workload results.  Every step down
+the ladder is recorded in obs metrics (``harness.worker_failures``,
+``harness.chunk_retries``, ``harness.degraded_chunks``).
 """
 
 from __future__ import annotations
@@ -88,6 +96,27 @@ def _cost_from_stats(
 _WORKER_STATE: Dict[str, object] = {}
 
 
+def _execute_chunk(
+    index: VectorIndex, chunk: QueryWorkload, use_batch: bool
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], List[QueryStats]]:
+    """Answer one contiguous workload chunk on ``index`` (cold-cache)."""
+    if chunk.n_queries == 0:
+        return None, None, []
+    if use_batch:
+        result = index.knn_batch(chunk.queries, chunk.k)
+        return result.ids, result.distances, list(result.stats)
+    id_rows: List[np.ndarray] = []
+    dist_rows: List[np.ndarray] = []
+    stats: List[QueryStats] = []
+    for query in chunk.queries:
+        index.reset_cache()
+        res = index.knn(query, chunk.k)
+        id_rows.append(res.ids)
+        dist_rows.append(res.distances)
+        stats.append(res.stats)
+    return np.vstack(id_rows), np.vstack(dist_rows), stats
+
+
 def _parallel_chunk(
     chunk_index: int,
 ) -> Tuple[
@@ -103,26 +132,75 @@ def _parallel_chunk(
     chunk: QueryWorkload = _WORKER_STATE["chunks"][chunk_index]
     use_batch: bool = _WORKER_STATE["use_batch"]
     before = index.counters.snapshot()
-    if chunk.n_queries == 0:
-        return None, None, [], CostSnapshot()
-    if use_batch:
-        result = index.knn_batch(chunk.queries, chunk.k)
-        ids, distances = result.ids, result.distances
-        stats = list(result.stats)
-    else:
-        id_rows: List[np.ndarray] = []
-        dist_rows: List[np.ndarray] = []
-        stats = []
-        for query in chunk.queries:
-            index.reset_cache()
-            res = index.knn(query, chunk.k)
-            id_rows.append(res.ids)
-            dist_rows.append(res.distances)
-            stats.append(res.stats)
-        ids = np.vstack(id_rows)
-        distances = np.vstack(dist_rows)
+    ids, distances, stats = _execute_chunk(index, chunk, use_batch)
     delta = index.counters.snapshot() - before
     return ids, distances, stats, delta
+
+
+def _run_round(
+    index: VectorIndex,
+    chunks: List[QueryWorkload],
+    pending: List[int],
+    workers: int,
+    use_batch: bool,
+    fork_ok: bool,
+    timeout_s: Optional[float],
+    results: Dict[int, Tuple],
+) -> List[int]:
+    """Run the ``pending`` chunk indexes on a fresh worker pool.
+
+    Successful chunks land in ``results``; the return value lists the
+    chunks that failed (worker exception, killed worker / broken pool, or
+    per-chunk timeout) and are still owed an answer.  A fresh executor per
+    round matters: one SIGKILLed fork poisons its whole
+    ``ProcessPoolExecutor``, so retries must not reuse it.
+    """
+    if fork_ok:
+        _WORKER_STATE["indexes"] = {ci: index for ci in pending}
+    else:
+        _WORKER_STATE["indexes"] = {
+            ci: copy.deepcopy(index) for ci in pending
+        }
+    _WORKER_STATE["chunks"] = {ci: chunks[ci] for ci in pending}
+    _WORKER_STATE["use_batch"] = use_batch
+    if fork_ok:
+        ctx = multiprocessing.get_context("fork")
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=ctx
+        )
+    else:
+        executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=workers
+        )
+    failed: List[int] = []
+    timed_out = False
+    try:
+        futures = {
+            ci: executor.submit(_parallel_chunk, ci) for ci in pending
+        }
+        done, not_done = concurrent.futures.wait(
+            futures.values(), timeout=timeout_s
+        )
+        for ci, future in futures.items():
+            if future in not_done:
+                timed_out = True
+                future.cancel()
+                failed.append(ci)
+                continue
+            try:
+                results[ci] = future.result()
+            except Exception:
+                # Worker raised, or the pool broke (killed fork): the chunk
+                # is retried / degraded by the caller.
+                failed.append(ci)
+    finally:
+        if timed_out and fork_ok:
+            # A hung fork never drains; reap it so shutdown cannot block.
+            for proc in list(getattr(executor, "_processes", {}).values()):
+                proc.terminate()
+        executor.shutdown(wait=fork_ok and not timed_out, cancel_futures=True)
+        _WORKER_STATE.clear()
+    return failed
 
 
 def _run_parallel(
@@ -131,6 +209,7 @@ def _run_parallel(
     workers: int,
     use_batch: bool,
     tracer: Tracer,
+    timeout_s: Optional[float] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
     """Split the workload into ``workers`` contiguous chunks and answer each
     on its own worker, reassembling everything in workload order.
@@ -142,45 +221,63 @@ def _run_parallel(
     accounting is bit-identical to a sequential run; the deltas are folded
     into the parent index's counters chunk by chunk, which keeps the final
     counter state deterministic for a given worker count.
+
+    Degradation ladder: chunks that fail their first round (exception,
+    killed worker, timeout past ``timeout_s``) are retried once on a fresh
+    pool; chunks that fail again run sequentially in-process — the answers
+    are bit-identical on every rung, only wall-clock suffers.  The ladder
+    is observable via ``harness.worker_failures`` / ``harness.chunk_retries``
+    / ``harness.degraded_chunks`` counters on the tracer's metrics.
     """
     chunks = workload.chunks(workers)
     fork_ok = "fork" in multiprocessing.get_all_start_methods()
-    if fork_ok:
-        _WORKER_STATE["indexes"] = [index] * len(chunks)
-    else:
-        _WORKER_STATE["indexes"] = [copy.deepcopy(index) for _ in chunks]
-    _WORKER_STATE["chunks"] = chunks
-    _WORKER_STATE["use_batch"] = use_batch
-    try:
-        with tracer.span(
-            "knn.parallel",
-            scheme=index.name,
-            workers=workers,
-            n_queries=workload.n_queries,
-            fork=fork_ok,
-        ):
-            if fork_ok:
-                ctx = multiprocessing.get_context("fork")
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=workers, mp_context=ctx
-                ) as pool:
-                    results = list(
-                        pool.map(_parallel_chunk, range(len(chunks)))
-                    )
-            else:
-                with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=workers
-                ) as pool:
-                    results = list(
-                        pool.map(_parallel_chunk, range(len(chunks)))
-                    )
-    finally:
-        _WORKER_STATE.clear()
+    results: Dict[int, Tuple] = {}
+    pending = list(range(len(chunks)))
+    with tracer.span(
+        "knn.parallel",
+        scheme=index.name,
+        workers=workers,
+        n_queries=workload.n_queries,
+        fork=fork_ok,
+        timeout_s=timeout_s,
+    ) as span:
+        for round_idx in range(2):
+            if not pending:
+                break
+            if round_idx > 0:
+                tracer.counter("harness.chunk_retries").inc(len(pending))
+            failed = _run_round(
+                index,
+                chunks,
+                pending,
+                workers,
+                use_batch,
+                fork_ok,
+                timeout_s,
+                results,
+            )
+            if failed:
+                tracer.counter("harness.worker_failures").inc(len(failed))
+            pending = failed
+        if pending:
+            # Last rung: sequential in-process execution of the survivors.
+            # The live index's counters advance directly here, so these
+            # chunks carry no delta to fold back in.
+            tracer.counter("harness.degraded_chunks").inc(len(pending))
+            for ci in pending:
+                ids, distances, chunk_stats = _execute_chunk(
+                    index, chunks[ci], use_batch
+                )
+                results[ci] = (ids, distances, chunk_stats, None)
+        if tracer.enabled:
+            span.set(degraded_chunks=len(pending))
     id_rows: List[np.ndarray] = []
     dist_rows: List[np.ndarray] = []
     stats: List[QueryStats] = []
-    for ids, distances, chunk_stats, delta in results:
-        index.counters.merge(delta)
+    for ci in range(len(chunks)):
+        ids, distances, chunk_stats, delta = results[ci]
+        if delta is not None:
+            index.counters.merge(delta)
         if ids is None:
             continue
         id_rows.append(ids)
@@ -203,6 +300,7 @@ def run_query_batch(
     tracer: Optional[Tracer] = None,
     workers: int = 1,
     use_batch: bool = False,
+    worker_timeout_s: Optional[float] = None,
 ) -> BatchCost:
     """Answer every query; return per-query cost averages.
 
@@ -222,7 +320,8 @@ def run_query_batch(
     wall time is apportioned equally across its queries).  Both accelerated
     routes require the cold-cache protocol, since a warm cache's hit pattern
     depends on cross-query page interleaving that a shared or split scan
-    would change.
+    would change.  ``worker_timeout_s`` bounds each parallel round; chunks
+    that outlive it walk the degradation ladder (retry, then in-process).
     """
     tracer = ensure_tracer(tracer)
     if workers < 1:
@@ -236,7 +335,8 @@ def run_query_batch(
             )
         if workers > 1:
             ids, _, stats = _run_parallel(
-                index, workload, workers, use_batch, tracer
+                index, workload, workers, use_batch, tracer,
+                timeout_s=worker_timeout_s,
             )
         else:
             result = index.knn_batch(
@@ -263,10 +363,15 @@ def run_workload(
     workers: int = 1,
     use_batch: bool = True,
     tracer: Optional[Tracer] = None,
+    worker_timeout_s: Optional[float] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats]]:
     """Full-results companion to :func:`run_query_batch`: the ``(Q, k)``
     ids/distances matrices plus per-query stats, under the same routing
     (``workers``/``use_batch``) and the cold-cache protocol.
+
+    ``worker_timeout_s`` bounds each parallel round: chunks still running
+    when it expires are treated as failed and walk the degradation ladder
+    (retry once on a fresh pool, then in-process sequential execution).
 
     Exists for callers that need the actual answers — equivalence tests,
     precision evaluation, the throughput benchmark — rather than cost
@@ -276,7 +381,10 @@ def run_workload(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers > 1:
-        return _run_parallel(index, workload, workers, use_batch, tracer)
+        return _run_parallel(
+            index, workload, workers, use_batch, tracer,
+            timeout_s=worker_timeout_s,
+        )
     if use_batch:
         result = index.knn_batch(workload.queries, workload.k, tracer=tracer)
         return result.ids, result.distances, list(result.stats)

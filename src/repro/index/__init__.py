@@ -10,16 +10,24 @@ return exact KNN under that scoring, so any cost difference between them is
 purely structural.
 """
 
-from .base import KNNResult, QueryStats, VectorIndex
+from .base import (
+    BatchKNNResult,
+    InvalidQueryError,
+    KNNResult,
+    QueryStats,
+    VectorIndex,
+)
 from .global_ldr import GlobalLDRIndex
 from .hybrid_tree import HybridTree, hybrid_internal_fanout, hybrid_leaf_capacity
 from .idistance import ExtendedIDistance
 from .seqscan import SequentialScan
 
 __all__ = [
+    "BatchKNNResult",
     "ExtendedIDistance",
     "GlobalLDRIndex",
     "HybridTree",
+    "InvalidQueryError",
     "KNNResult",
     "QueryStats",
     "SequentialScan",

@@ -22,12 +22,32 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.buffer import BufferPool
+from ..storage.faults import FaultPlan, FaultyPageStore
 from ..storage.metrics import CostCounters, CostSnapshot
 from ..storage.pager import PageStore
 
-__all__ = ["QueryStats", "KNNResult", "BatchKNNResult", "VectorIndex"]
+__all__ = [
+    "InvalidQueryError",
+    "QueryStats",
+    "KNNResult",
+    "BatchKNNResult",
+    "VectorIndex",
+]
+
+
+class InvalidQueryError(ValueError):
+    """A query vector the index cannot answer meaningfully.
+
+    Raised for NaN/Inf components and dimensionality mismatches.  NaN
+    comparisons are all false, so an unchecked NaN query would silently
+    return garbage neighbors — rejection is the only correct answer.
+    :meth:`VectorIndex.knn` raises; :meth:`VectorIndex.knn_batch` instead
+    skips the offending rows and reports them in
+    :attr:`BatchKNNResult.invalid_queries`.
+    """
 
 #: Default buffer pool size (pages).  512 pages = 2 MiB: large enough that a
 #: single query's working set fits, small enough that one query cannot cache
@@ -108,6 +128,10 @@ class BatchKNNResult:
     distances: np.ndarray
     stats: Tuple[QueryStats, ...]
     wall_seconds: float
+    #: Workload row indices rejected by validation (NaN/Inf components).
+    #: Those rows hold ids of -1, NaN distances, and all-zero stats — the
+    #: rest of the batch is answered normally (skip-and-report, not abort).
+    invalid_queries: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.ids.shape != self.distances.shape:
@@ -191,6 +215,11 @@ class VectorIndex(ABC):
         The whole call runs under one ``knn.batch`` span; a real ``tracer``
         also gets a ``knn.batch_qps`` gauge.  The index's own counters are
         advanced by the batch totals either way.
+
+        Rows with NaN/Inf components are *skipped and reported* (see
+        :attr:`BatchKNNResult.invalid_queries`) rather than aborting the
+        workload; a dimensionality mismatch is structural to the whole
+        matrix and raises :class:`InvalidQueryError` outright.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.ndim != 2:
@@ -199,8 +228,16 @@ class VectorIndex(ABC):
             )
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        expected = self.query_dim
+        if expected is not None and queries.shape[1] != expected:
+            raise InvalidQueryError(
+                f"queries have {queries.shape[1]} dimensions; the index "
+                f"was built over {expected}-dimensional data"
+            )
         tracer = ensure_tracer(tracer)
-        has_fast_path = type(self)._knn_batch is not VectorIndex._knn_batch
+        finite = np.isfinite(queries).all(axis=1)
+        invalid_rows = np.flatnonzero(~finite)
+        valid_queries = queries if finite.all() else queries[finite]
         start = time.perf_counter()
         with tracer.span(
             "knn.batch",
@@ -209,23 +246,30 @@ class VectorIndex(ABC):
             n_queries=queries.shape[0],
             k=k,
             cold_cache=cold_cache,
-            fast_path=has_fast_path and cold_cache,
+            invalid_queries=int(invalid_rows.size),
         ):
-            if has_fast_path and cold_cache:
-                with self.counters.cpu_timer():
-                    ids, distances, stats = self._knn_batch(
-                        queries, k, tracer
-                    )
-                wall = time.perf_counter() - start
-                per_query = wall / max(1, queries.shape[0])
-                stats = [
-                    replace(s, cpu_seconds=per_query) for s in stats
-                ]
-            else:
-                ids, distances, stats = self._knn_batch_loop(
-                    queries, k, tracer, cold_cache
+            ids, distances, stats, wall = self._dispatch_batch(
+                valid_queries, k, tracer, cold_cache, start
+            )
+        if invalid_rows.size:
+            if tracer.enabled:
+                tracer.counter("knn.invalid_queries").inc(
+                    int(invalid_rows.size)
                 )
-                wall = time.perf_counter() - start
+            k_cols = ids.shape[1]
+            full_ids = np.full(
+                (queries.shape[0], k_cols), -1, dtype=np.int64
+            )
+            full_dists = np.full(
+                (queries.shape[0], k_cols), np.nan, dtype=np.float64
+            )
+            full_ids[finite] = ids
+            full_dists[finite] = distances
+            zero = QueryStats(0, 0, 0, 0, 0.0)
+            full_stats: List[QueryStats] = [zero] * queries.shape[0]
+            for row, s in zip(np.flatnonzero(finite).tolist(), stats):
+                full_stats[row] = s
+            ids, distances, stats = full_ids, full_dists, full_stats
         if tracer.enabled and wall > 0:
             tracer.gauge("knn.batch_qps").set(queries.shape[0] / wall)
         return BatchKNNResult(
@@ -233,7 +277,31 @@ class VectorIndex(ABC):
             distances=distances,
             stats=tuple(stats),
             wall_seconds=wall,
+            invalid_queries=tuple(invalid_rows.tolist()),
         )
+
+    def _dispatch_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        tracer: Tracer,
+        cold_cache: bool,
+        start: float,
+    ) -> Tuple[np.ndarray, np.ndarray, List[QueryStats], float]:
+        """Route pre-validated queries to the fast path or the loop."""
+        has_fast_path = type(self)._knn_batch is not VectorIndex._knn_batch
+        if has_fast_path and cold_cache:
+            with self.counters.cpu_timer():
+                ids, distances, stats = self._knn_batch(queries, k, tracer)
+            wall = time.perf_counter() - start
+            per_query = wall / max(1, queries.shape[0])
+            stats = [replace(s, cpu_seconds=per_query) for s in stats]
+        else:
+            ids, distances, stats = self._knn_batch_loop(
+                queries, k, tracer, cold_cache
+            )
+            wall = time.perf_counter() - start
+        return ids, distances, stats, wall
 
     def _knn_batch(
         self,
@@ -279,6 +347,86 @@ class VectorIndex(ABC):
     def reset_cache(self) -> None:
         """Drop the buffer pool contents (cold-cache measurement)."""
         self.pool.clear()
+
+    # ------------------------------------------------------------------
+    # robustness
+    # ------------------------------------------------------------------
+
+    @property
+    def query_dim(self) -> Optional[int]:
+        """Expected query dimensionality (the original-space width), or
+        ``None`` when the index has no reduced dataset to derive it from."""
+        reduced = getattr(self, "reduced", None)
+        if reduced is None:
+            return None
+        return int(reduced.dimensionality)
+
+    def _check_query(self, query: np.ndarray) -> np.ndarray:
+        """Validate one query vector, raising :class:`InvalidQueryError`.
+
+        Rejects non-1-d inputs, dimensionality mismatches, and NaN/Inf
+        components — all of which would otherwise flow through the distance
+        kernels and come back as confidently wrong neighbors.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise InvalidQueryError(
+                f"query must be a 1-d vector, got shape {query.shape}"
+            )
+        expected = self.query_dim
+        if expected is not None and query.shape[0] != expected:
+            raise InvalidQueryError(
+                f"query has {query.shape[0]} dimensions; the index was "
+                f"built over {expected}-dimensional data"
+            )
+        if not np.isfinite(query).all():
+            raise InvalidQueryError(
+                "query contains NaN or Inf components"
+            )
+        return query
+
+    def enable_faults(
+        self,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> FaultyPageStore:
+        """Wrap this index's page store in a seeded fault injector.
+
+        Every component holding a store reference (buffer pool, B+-tree,
+        Hybrid trees) is repointed at the wrapper, so all subsequent page
+        traffic flows through the :class:`~repro.storage.faults.FaultPlan`.
+        Returns the wrapper; its ``fault_metrics`` registry carries the
+        ``faults.injected*`` / ``faults.retried`` counters.  Calling this
+        on an already-faulty index layers a second plan — usually a test
+        bug — so it raises instead.
+        """
+        if isinstance(self.store, FaultyPageStore):
+            raise RuntimeError(
+                "fault injection is already enabled on this index"
+            )
+        faulty = FaultyPageStore(self.store, plan, metrics=metrics)
+        self.store = faulty
+        self.pool.store = faulty
+        tree = getattr(self, "tree", None)
+        if tree is not None:
+            tree.store = faulty
+        for hybrid in getattr(self, "trees", []):
+            hybrid.store = faulty
+        return faulty
+
+    def disable_faults(self) -> None:
+        """Undo :meth:`enable_faults`, restoring the pristine inner store."""
+        store = self.store
+        if not isinstance(store, FaultyPageStore):
+            return
+        inner = store.inner
+        self.store = inner
+        self.pool.store = inner
+        tree = getattr(self, "tree", None)
+        if tree is not None:
+            tree.store = inner
+        for hybrid in getattr(self, "trees", []):
+            hybrid.store = inner
 
     @property
     def size_pages(self) -> int:

@@ -58,7 +58,7 @@ class SequentialScan(VectorIndex):
         k: int,
         tracer: Optional[Tracer] = None,
     ) -> KNNResult:
-        query = np.asarray(query, dtype=np.float64)
+        query = self._check_query(query)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         tracer = ensure_tracer(tracer)

@@ -1,0 +1,31 @@
+"""Durable persistence for built indexes (DESIGN.md §9).
+
+Building an index is the expensive part of the pipeline — reduction,
+clustering, bulk loads.  This package makes the result durable:
+:func:`save_index` writes a versioned, checksum-validated snapshot
+directory, and :func:`load_index` restores it with every byte verified
+before deserialization, so corruption is always a typed error and never a
+silently wrong index.
+"""
+
+from .snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT_VERSION,
+    STATE_NAME,
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotFormatError,
+    load_index,
+    save_index,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SNAPSHOT_FORMAT_VERSION",
+    "STATE_NAME",
+    "SnapshotCorruptionError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "load_index",
+    "save_index",
+]

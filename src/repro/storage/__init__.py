@@ -8,6 +8,7 @@ counts, and we time CPU work with :class:`CostCounters`.
 """
 
 from .buffer import BufferPool
+from .faults import FaultPlan, FaultyPageStore, RetryPolicy, corrupt_page
 from .metrics import CostCounters, CostSnapshot
 from .pager import (
     FLOAT_SIZE,
@@ -16,10 +17,15 @@ from .pager import (
     POINTER_SIZE,
     RID_SIZE,
     Page,
+    PageCorruptionError,
+    PageNotFoundError,
     PageOverflowError,
     PageStore,
+    TransientPageError,
+    page_checksum,
     pages_for_vectors,
     vector_bytes,
+    verify_page,
 )
 
 __all__ = [
@@ -27,13 +33,22 @@ __all__ = [
     "CostCounters",
     "CostSnapshot",
     "FLOAT_SIZE",
+    "FaultPlan",
+    "FaultyPageStore",
     "KEY_SIZE",
     "PAGE_SIZE",
     "POINTER_SIZE",
     "RID_SIZE",
     "Page",
+    "PageCorruptionError",
+    "PageNotFoundError",
     "PageOverflowError",
     "PageStore",
+    "RetryPolicy",
+    "TransientPageError",
+    "corrupt_page",
+    "page_checksum",
     "pages_for_vectors",
     "vector_bytes",
+    "verify_page",
 ]

@@ -10,6 +10,13 @@ The scalability experiment (Figure 11a) relies on the same mechanism at a
 coarser granularity: naive MMDR re-scans the dataset every clustering
 iteration, so once the data outgrows the buffer each iteration pays physical
 reads again, while Scalable MMDR streams each chunk exactly once.
+
+The miss path is also where self-healing happens (DESIGN.md §9): a fetch
+that raises :class:`~repro.storage.pager.TransientPageError` is retried
+under a bounded :class:`~repro.storage.faults.RetryPolicy` (each retry
+counted as ``faults.retried``), and every fetched page is checksum-verified
+before admission so corruption surfaces as a typed
+:class:`~repro.storage.pager.PageCorruptionError` instead of a wrong answer.
 """
 
 from __future__ import annotations
@@ -17,8 +24,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Optional
 
+from .faults import RetryPolicy
 from .metrics import CostCounters
-from .pager import Page, PageStore
+from .pager import Page, PageStore, TransientPageError, verify_page
 
 __all__ = ["BufferPool"]
 
@@ -53,6 +61,9 @@ class BufferPool:
         self._resident: OrderedDict[int, Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Retry policy for transient read faults on the miss path.
+        self.retry = RetryPolicy()
+        store.register_pool(self)
         #: Optional :class:`~repro.obs.Tracer` feeding ``buffer.hits`` /
         #: ``buffer.misses`` counters.  ``None`` (the default) keeps the
         #: read path at a single identity check — the index's
@@ -80,9 +91,35 @@ class BufferPool:
         self.counters.count_physical_read()
         if self.tracer is not None:
             self.tracer.counter("buffer.misses").inc()
-        page = self.store.fetch(page_id)
+        page = self._fetch_with_retry(page_id)
+        verify_page(page)
         self._admit(page)
         return page.payload
+
+    def _fetch_with_retry(self, page_id: int) -> Page:
+        """Fetch from the store, absorbing transient faults.
+
+        Retries are bounded by :attr:`retry`; each one increments the
+        ``faults.retried`` counter on the store's fault metrics (when the
+        store is a :class:`~repro.storage.faults.FaultyPageStore`) and on
+        the attached tracer.  Exhausting the budget re-raises the last
+        :class:`~repro.storage.pager.TransientPageError` — an unrecoverable
+        read is reported, never papered over.
+        """
+        attempt = 1
+        while True:
+            try:
+                return self.store.fetch(page_id)
+            except TransientPageError:
+                if attempt >= self.retry.max_attempts:
+                    raise
+                metrics = getattr(self.store, "fault_metrics", None)
+                if metrics is not None:
+                    metrics.counter("faults.retried").inc()
+                if self.tracer is not None:
+                    self.tracer.counter("faults.retried").inc()
+                self.retry.sleep(attempt)
+                attempt += 1
 
     def _admit(self, page: Page) -> None:
         self._resident[page.page_id] = page

@@ -1,0 +1,271 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The paper's testbed assumes a reliable disk; a production service cannot.
+This module makes the failure modes of real storage reproducible on the
+simulated :class:`~repro.storage.pager.PageStore`:
+
+* **transient read errors** — a fetch raises
+  :class:`~repro.storage.pager.TransientPageError`; the buffer pool's read
+  path retries with bounded backoff and the query proceeds unharmed;
+* **torn writes** — an allocate/overwrite lands, but the stored page image
+  no longer matches its checksum, so the next buffer-pool miss raises
+  :class:`~repro.storage.pager.PageCorruptionError`;
+* **bit flips** — a resting page is corrupted in place at read time, with
+  the same detection guarantee.
+
+Faults come from a :class:`FaultPlan`: a seed plus per-operation
+probabilities.  The plan is consumed through one private
+``random.Random(seed)`` stream in operation order, so a given plan against
+a given access pattern injects exactly the same faults every run — the
+equivalence tests rely on this to assert that transient-only plans leave
+KNN results bit-identical to a fault-free run.
+
+Usage::
+
+    plan = FaultPlan(seed=7, transient_read_prob=0.05)
+    faulty = index.enable_faults(plan)        # wraps the index's store
+    index.knn(query, k)                        # retries happen inside
+    faulty.fault_metrics.counters["faults.retried"].value  # > 0
+
+Every injection and retry is counted in the wrapper's
+:class:`~repro.obs.metrics.MetricsRegistry` (``faults.injected``,
+``faults.injected.<kind>``, ``faults.retried``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..obs.metrics import MetricsRegistry
+from .metrics import CostCounters
+from .pager import (
+    Page,
+    PageStore,
+    TransientPageError,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyPageStore",
+    "RetryPolicy",
+    "corrupt_page",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient read faults.
+
+    ``max_attempts`` counts the initial try: 5 means one read plus up to
+    four retries.  Backoff doubles per retry from ``backoff_s``; the
+    default is 0 because simulated storage has no device to wait out —
+    set it > 0 when modelling real latency.
+    """
+
+    max_attempts: int = 5
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+
+    def sleep(self, attempt: int) -> None:
+        """Back off before retry number ``attempt`` (1-based)."""
+        if self.backoff_s > 0:
+            time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which faults to inject, and how often.
+
+    Probabilities are per operation (per fetch for reads, per
+    allocate/overwrite for writes).  ``transient_repeat`` is how many
+    consecutive attempts a transient fault survives before the page reads
+    clean — keep it below the retry policy's ``max_attempts`` and every
+    transient fault is recoverable, which is the precondition for the
+    bit-identical-results guarantee.  ``max_faults`` caps total injections
+    (``None`` = unlimited).
+    """
+
+    seed: int
+    transient_read_prob: float = 0.0
+    torn_write_prob: float = 0.0
+    bit_flip_prob: float = 0.0
+    transient_repeat: int = 1
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "transient_read_prob", "torn_write_prob", "bit_flip_prob"
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.transient_repeat < 1:
+            raise ValueError(
+                f"transient_repeat must be >= 1, got {self.transient_repeat}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+
+    @property
+    def transient_only(self) -> bool:
+        """True when the plan can never corrupt data (recoverable faults
+        only) — the regime under which results must stay bit-identical."""
+        return self.torn_write_prob == 0.0 and self.bit_flip_prob == 0.0
+
+
+def corrupt_page(store: PageStore, page_id: int, bit: int = 0) -> None:
+    """Flip one bit of a stored page's image (simulated at-rest bit rot).
+
+    The flip is modelled on the page's checksum word — equivalent, for
+    detection purposes, to flipping a payload bit, without having to
+    rewrite a live Python payload object.  The next checksum verification
+    of the page (any buffer-pool miss) raises
+    :class:`~repro.storage.pager.PageCorruptionError`.
+    """
+    page = store.raw_fetch(page_id)
+    if page.checksum is None:
+        page.checksum = 0
+    page.checksum ^= 1 << (bit % 32)
+
+
+class FaultyPageStore(PageStore):
+    """A :class:`PageStore` wrapper that injects a :class:`FaultPlan`.
+
+    Install with :meth:`repro.index.base.VectorIndex.enable_faults` (or by
+    swapping it in wherever the inner store was referenced).  The wrapper
+    owns no pages — all state lives in the wrapped store, so wrapping an
+    already-built index is safe and reversible.
+    """
+
+    def __init__(
+        self,
+        inner: PageStore,
+        plan: FaultPlan,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        # Deliberately no super().__init__: the wrapper delegates all page
+        # state to `inner` and must never shadow it with its own dict.
+        self.inner = inner
+        self.plan = plan
+        self.fault_metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self._rng = random.Random(plan.seed)
+        self._injected = 0
+        # page_id -> remaining consecutive attempts that must still fail.
+        self._pending_transient: dict = {}
+        # Pages already hit by a bit flip (corruption is permanent).
+        self._flipped: Set[int] = set()
+
+    # -- plan bookkeeping ------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        return (
+            self.plan.max_faults is None
+            or self._injected < self.plan.max_faults
+        )
+
+    def _draw(self, probability: float) -> bool:
+        if probability <= 0.0 or not self._budget_left():
+            return False
+        if self._rng.random() >= probability:
+            return False
+        self._injected += 1
+        return True
+
+    def _count(self, kind: str) -> None:
+        self.fault_metrics.counter("faults.injected").inc()
+        self.fault_metrics.counter(f"faults.injected.{kind}").inc()
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults injected so far (all kinds)."""
+        return self._injected
+
+    # -- delegated storage interface ------------------------------------
+
+    @property
+    def counters(self) -> CostCounters:
+        return self.inner.counters
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self.inner
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.inner.allocated_pages
+
+    def register_pool(self, pool) -> None:
+        self.inner.register_pool(pool)
+
+    def raw_fetch(self, page_id: int) -> Page:
+        """Fault-free fetch (accounting replay / build internals)."""
+        return self.inner.raw_fetch(page_id)
+
+    def allocate(self, payload, size_bytes: int) -> int:
+        page_id = self.inner.allocate(payload, size_bytes)
+        if self._draw(self.plan.torn_write_prob):
+            self._count("torn_write")
+            corrupt_page(self.inner, page_id)
+        return page_id
+
+    def overwrite(self, page_id: int, payload, size_bytes: int) -> None:
+        self.inner.overwrite(page_id, payload, size_bytes)
+        if self._draw(self.plan.torn_write_prob):
+            self._count("torn_write")
+            corrupt_page(self.inner, page_id)
+
+    def fetch(self, page_id: int) -> Page:
+        pending = self._pending_transient.get(page_id, 0)
+        if pending > 0:
+            if pending == 1:
+                del self._pending_transient[page_id]
+            else:
+                self._pending_transient[page_id] = pending - 1
+            raise TransientPageError(
+                f"injected transient read fault on page {page_id} "
+                f"({pending - 1} repeats left)"
+            )
+        if self._draw(self.plan.transient_read_prob):
+            self._count("transient")
+            if self.plan.transient_repeat > 1:
+                self._pending_transient[page_id] = (
+                    self.plan.transient_repeat - 1
+                )
+            raise TransientPageError(
+                f"injected transient read fault on page {page_id}"
+            )
+        if page_id not in self._flipped and self._draw(
+            self.plan.bit_flip_prob
+        ):
+            self._count("bit_flip")
+            self._flipped.add(page_id)
+            corrupt_page(self.inner, page_id)
+        return self.inner.fetch(page_id)
+
+    def read_sequential(self, page_id: int) -> Page:
+        page = self.fetch(page_id)
+        self.inner.counters.count_sequential_read()
+        return page
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+        self._pending_transient.pop(page_id, None)
+        self._flipped.discard(page_id)

@@ -11,12 +11,22 @@ accounting happens.
 
 Byte-size constants mirror the layout assumed in DESIGN.md §5: 4 KiB pages,
 float32 vector components, 8-byte keys and pointers.
+
+Robustness (DESIGN.md §9): every page carries a CRC32 checksum over its
+payload bytes, stamped at allocate/overwrite time and verified on every
+buffer-pool miss.  A mismatch raises the typed :class:`PageCorruptionError`
+— corruption is detected, never silently served.  Unknown or freed page ids
+raise :class:`PageNotFoundError` (a ``KeyError`` subclass), and freeing a
+page invalidates it in every registered buffer pool so a stale cached
+payload can never be read back.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from .metrics import CostCounters
 
@@ -29,6 +39,11 @@ __all__ = [
     "Page",
     "PageStore",
     "PageOverflowError",
+    "PageNotFoundError",
+    "PageCorruptionError",
+    "TransientPageError",
+    "page_checksum",
+    "verify_page",
     "vector_bytes",
     "pages_for_vectors",
 ]
@@ -48,6 +63,60 @@ RID_SIZE = 8
 
 class PageOverflowError(ValueError):
     """Raised when a payload is declared larger than the page capacity."""
+
+
+class PageNotFoundError(KeyError):
+    """Raised when a page id was never allocated or has been freed.
+
+    Subclasses ``KeyError`` so pre-existing callers that caught the bare
+    ``KeyError`` keep working; new code should catch this type.
+    """
+
+
+class PageCorruptionError(IOError):
+    """Raised when a page's payload no longer matches its stored checksum.
+
+    Covers bit flips and torn writes in simulated storage as well as
+    tampered snapshot files (see :mod:`repro.persist`).  Detection is the
+    contract: corrupted data is never silently returned to a caller.
+    """
+
+
+class TransientPageError(IOError):
+    """A read failed transiently (injected fault); retrying may succeed.
+
+    Raised by :class:`~repro.storage.faults.FaultyPageStore`; the buffer
+    pool's read path retries these with bounded backoff.
+    """
+
+
+def page_checksum(payload: Any) -> int:
+    """CRC32 over the payload's serialized bytes (the simulated page image).
+
+    The payload objects live in memory, so "the bytes on the page" are the
+    payload's canonical pickle serialization.  Within one process (and its
+    forked children) equal object state yields equal bytes, which is the
+    only property verification needs.
+    """
+    return zlib.crc32(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    ) & 0xFFFFFFFF
+
+
+def verify_page(page: "Page") -> None:
+    """Raise :class:`PageCorruptionError` if the page fails its checksum.
+
+    Pages stamped with ``checksum=None`` (hand-built in tests, or predating
+    the checksum format) are skipped rather than failed.
+    """
+    if page.checksum is None:
+        return
+    actual = page_checksum(page.payload)
+    if actual != page.checksum:
+        raise PageCorruptionError(
+            f"page {page.page_id} failed checksum verification "
+            f"(stored 0x{page.checksum:08x}, computed 0x{actual:08x})"
+        )
 
 
 def vector_bytes(dimensionality: int) -> int:
@@ -75,11 +144,17 @@ def pages_for_vectors(count: int, dimensionality: int) -> int:
 
 @dataclass
 class Page:
-    """One fixed-size page: an id, a payload, and its declared byte size."""
+    """One fixed-size page: an id, a payload, and its declared byte size.
+
+    ``checksum`` is the CRC32 of the payload bytes at the last write
+    (:func:`page_checksum`), or ``None`` for pages built outside a
+    :class:`PageStore` (checksum verification then skips the page).
+    """
 
     page_id: int
     payload: Any
     size_bytes: int
+    checksum: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes > PAGE_SIZE:
@@ -105,6 +180,9 @@ class PageStore:
         self._pages: Dict[int, Page] = {}
         self._next_id = 0
         self.counters = counters if counters is not None else CostCounters()
+        # Buffer pools layered over this store; free() invalidates the page
+        # in every one of them so a stale cached payload is never served.
+        self._pools: List[Any] = []
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -112,19 +190,30 @@ class PageStore:
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._pages
 
+    def register_pool(self, pool: Any) -> None:
+        """Attach a buffer pool for free-time invalidation callbacks."""
+        if pool not in self._pools:
+            self._pools.append(pool)
+
     def allocate(self, payload: Any, size_bytes: int) -> int:
         """Store a payload on a fresh page and return its id."""
-        page = Page(self._next_id, payload, size_bytes)
+        page = Page(
+            self._next_id, payload, size_bytes, page_checksum(payload)
+        )
         self._pages[page.page_id] = page
         self._next_id += 1
         self.counters.count_page_write()
         return page.page_id
 
     def overwrite(self, page_id: int, payload: Any, size_bytes: int) -> None:
-        """Replace the payload of an existing page."""
+        """Replace the payload of an existing page (checksum restamped)."""
         if page_id not in self._pages:
-            raise KeyError(f"page {page_id} was never allocated")
-        self._pages[page_id] = Page(page_id, payload, size_bytes)
+            raise PageNotFoundError(
+                f"page {page_id} was never allocated or has been freed"
+            )
+        self._pages[page_id] = Page(
+            page_id, payload, size_bytes, page_checksum(payload)
+        )
         self.counters.count_page_write()
 
     def fetch(self, page_id: int) -> Page:
@@ -132,7 +221,20 @@ class PageStore:
         try:
             return self._pages[page_id]
         except KeyError:
-            raise KeyError(f"page {page_id} was never allocated") from None
+            raise PageNotFoundError(
+                f"page {page_id} was never allocated or has been freed"
+            ) from None
+
+    def raw_fetch(self, page_id: int) -> Page:
+        """Fetch bypassing any fault injection layered over the store.
+
+        Used by accounting-replay paths (the batch engine's
+        ``descend_path``) and build-time internals, which model *no* real
+        I/O and must therefore never observe injected faults.  On a plain
+        store this is :meth:`fetch`; :class:`~repro.storage.faults.
+        FaultyPageStore` overrides it to reach the pristine inner store.
+        """
+        return self.fetch(page_id)
 
     def read_sequential(self, page_id: int) -> Page:
         """Read a page as part of a streaming scan (no buffering)."""
@@ -141,10 +243,18 @@ class PageStore:
         return page
 
     def free(self, page_id: int) -> None:
-        """Release a page (dynamic deletes; unused pages stop counting)."""
+        """Release a page (dynamic deletes; unused pages stop counting).
+
+        Every registered buffer pool drops the page too, so a later fetch
+        of the dead id fails typed instead of serving a stale payload.
+        """
         if page_id not in self._pages:
-            raise KeyError(f"page {page_id} was never allocated")
+            raise PageNotFoundError(
+                f"page {page_id} was never allocated or has been freed"
+            )
         del self._pages[page_id]
+        for pool in self._pools:
+            pool.invalidate(page_id)
 
     @property
     def allocated_pages(self) -> int:

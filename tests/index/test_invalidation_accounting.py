@@ -1,0 +1,140 @@
+"""BufferPool invalidate/clear vs. the batch engine's cold-LRU replay.
+
+The batch engine does not read through the live pool — it *replays* each
+query's page sequence against a simulated cold LRU ledger.  That replay is
+only correct if the live pool's state transitions (invalidations from
+frees/overwrites, clears between cold-cache queries) cannot desynchronize
+the two accountings, so these tests mutate the index between and during
+measurements and assert batch and sequential page accounting stay equal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.data.workload import sample_queries
+from repro.index.idistance import ExtendedIDistance
+from repro.reduction.mmdr_adapter import model_to_reduced
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import PageStore
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(two_cluster_dataset.points, np.random.default_rng(5))
+    return two_cluster_dataset, model_to_reduced(model)
+
+
+@pytest.fixture(scope="module")
+def workload(two_cluster_dataset):
+    return sample_queries(
+        two_cluster_dataset.points,
+        12,
+        np.random.default_rng(9),
+        k=8,
+        method="perturbed",
+    )
+
+
+def sequential_reference(index, workload):
+    ids, dists, stats = [], [], []
+    for query in workload.queries:
+        index.reset_cache()
+        res = index.knn(query, workload.k)
+        ids.append(res.ids)
+        dists.append(res.distances)
+        stats.append(res.stats)
+    return np.vstack(ids), np.vstack(dists), stats
+
+
+def assert_accounting_equal(seq, batch):
+    seq_ids, seq_dists, seq_stats = seq
+    assert np.array_equal(seq_ids, batch.ids)
+    assert np.array_equal(seq_dists, batch.distances)
+    for a, b in zip(seq_stats, batch.stats):
+        assert a.page_reads == b.page_reads
+        assert a.distance_computations == b.distance_computations
+        assert a.key_comparisons == b.key_comparisons
+
+
+class TestPoolInvalidation:
+    def test_invalidate_forces_physical_reread(self):
+        store = PageStore()
+        ids = [store.allocate({"n": i}, 32) for i in range(4)]
+        pool = BufferPool(store, 8)
+        for page_id in ids:
+            pool.read(page_id)
+        assert pool.misses == 4
+        pool.read(ids[0])
+        assert pool.hits == 1
+        pool.invalidate(ids[0])
+        pool.read(ids[0])
+        assert pool.misses == 5  # resident copy dropped: physical again
+
+    def test_clear_resets_residency_not_counters(self):
+        store = PageStore()
+        ids = [store.allocate({"n": i}, 32) for i in range(4)]
+        pool = BufferPool(store, 8)
+        for page_id in ids:
+            pool.read(page_id)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.misses == 4  # history survives the cold-cache reset
+        for page_id in ids:
+            pool.read(page_id)
+        assert pool.misses == 8
+
+    def test_invalidate_missing_page_is_noop(self):
+        pool = BufferPool(PageStore(), 4)
+        pool.invalidate(999)  # never resident: nothing to drop
+
+
+class TestBatchReplayAfterInvalidations:
+    def test_accounting_equal_after_dynamic_inserts(
+        self, reduced, workload
+    ):
+        """Inserts overwrite B+-tree pages (pool invalidations) between
+        builds; the ledger replay must track the post-insert page layout."""
+        dataset, red = reduced
+        rng = np.random.default_rng(21)
+        picks = dataset.points[rng.integers(0, dataset.points.shape[0], 8)]
+        new_points = picks + rng.normal(0, 0.01, picks.shape)
+
+        seq_index = ExtendedIDistance(red)
+        for j, point in enumerate(new_points):
+            seq_index.insert(point, red.n_points + j)
+        seq = sequential_reference(seq_index, workload)
+
+        batch_index = ExtendedIDistance(red)
+        for j, point in enumerate(new_points):
+            batch_index.insert(point, red.n_points + j)
+        batch = batch_index.knn_batch(workload.queries, workload.k)
+        assert_accounting_equal(seq, batch)
+
+    def test_accounting_equal_with_warm_pool_before_batch(
+        self, reduced, workload
+    ):
+        """A warm (then invalidated) live pool must not leak into the
+        replay: batch accounting is defined cold regardless of pool state."""
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        # Warm the pool, then punch holes in it.
+        index.knn(workload.queries[0], workload.k)
+        for page_id in list(index.pool._resident)[::2]:
+            index.pool.invalidate(page_id)
+        batch = index.knn_batch(workload.queries, workload.k)
+        seq = sequential_reference(ExtendedIDistance(red), workload)
+        assert_accounting_equal(seq, batch)
+
+    def test_sequential_and_batch_agree_on_same_instance(
+        self, reduced, workload
+    ):
+        """Interleaving: sequential pass, batch pass, sequential pass on
+        ONE instance — every pass reports the same cold-cache accounting."""
+        _, red = reduced
+        index = ExtendedIDistance(red)
+        first = sequential_reference(index, workload)
+        batch = index.knn_batch(workload.queries, workload.k)
+        second = sequential_reference(index, workload)
+        assert_accounting_equal(first, batch)
+        assert_accounting_equal(second, batch)

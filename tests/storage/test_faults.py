@@ -1,0 +1,243 @@
+"""Fault injection, checksums, retries, and typed page errors (DESIGN.md §9)."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.faults import (
+    FaultPlan,
+    FaultyPageStore,
+    RetryPolicy,
+    corrupt_page,
+)
+from repro.storage.pager import (
+    Page,
+    PageCorruptionError,
+    PageNotFoundError,
+    PageStore,
+    TransientPageError,
+    page_checksum,
+    verify_page,
+)
+
+
+def make_store(n_pages=8):
+    store = PageStore()
+    ids = [store.allocate({"n": i}, 64) for i in range(n_pages)]
+    return store, ids
+
+
+class TestChecksums:
+    def test_allocate_stamps_checksum(self):
+        store, ids = make_store()
+        page = store.fetch(ids[0])
+        assert page.checksum == page_checksum(page.payload)
+
+    def test_overwrite_restamps_checksum(self):
+        store, ids = make_store()
+        store.overwrite(ids[0], {"n": 999}, 64)
+        page = store.fetch(ids[0])
+        assert page.payload == {"n": 999}
+        verify_page(page)  # restamped: must pass
+
+    def test_verify_detects_mismatch(self):
+        store, ids = make_store()
+        corrupt_page(store, ids[0])
+        with pytest.raises(PageCorruptionError):
+            verify_page(store.fetch(ids[0]))
+
+    def test_verify_skips_unstamped_pages(self):
+        verify_page(Page(0, {"hand": "built"}, 16))  # checksum=None: no raise
+
+    def test_corrupt_page_flips_one_bit(self):
+        store, ids = make_store()
+        original = store.fetch(ids[0]).checksum
+        corrupt_page(store, ids[0], bit=3)
+        assert store.fetch(ids[0]).checksum == original ^ (1 << 3)
+        corrupt_page(store, ids[0], bit=3)
+        verify_page(store.fetch(ids[0]))  # double flip restores
+
+
+class TestTypedPageErrors:
+    def test_fetch_unknown_page(self):
+        store, _ = make_store()
+        with pytest.raises(PageNotFoundError):
+            store.fetch(999)
+
+    def test_overwrite_unknown_page(self):
+        store, _ = make_store()
+        with pytest.raises(PageNotFoundError):
+            store.overwrite(999, {}, 0)
+
+    def test_free_unknown_page(self):
+        store, _ = make_store()
+        with pytest.raises(PageNotFoundError):
+            store.free(999)
+
+    def test_page_not_found_is_key_error(self):
+        # Pre-existing callers catch bare KeyError; the subclass keeps them
+        # working.
+        store, _ = make_store()
+        with pytest.raises(KeyError):
+            store.fetch(999)
+
+    def test_free_invalidates_registered_pools(self):
+        store, ids = make_store()
+        pool = BufferPool(store, 4)
+        pool.read(ids[0])
+        assert ids[0] in pool
+        store.free(ids[0])
+        assert ids[0] not in pool
+        with pytest.raises(PageNotFoundError):
+            pool.read(ids[0])
+
+    def test_register_pool_deduplicates(self):
+        store, _ = make_store()
+        pool = BufferPool(store, 4)  # __init__ registers
+        store.register_pool(pool)
+        assert store._pools.count(pool) == 1
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, transient_read_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, transient_repeat=0)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, max_faults=-1)
+
+    def test_transient_only(self):
+        assert FaultPlan(seed=0, transient_read_prob=0.5).transient_only
+        assert not FaultPlan(seed=0, bit_flip_prob=0.1).transient_only
+        assert not FaultPlan(seed=0, torn_write_prob=0.1).transient_only
+
+
+def faulty_fixture(plan, n_pages=8):
+    store, ids = make_store(n_pages)
+    faulty = FaultyPageStore(store, plan)
+    pool = BufferPool(faulty, 4, store.counters)
+    return faulty, pool, ids
+
+
+class TestFaultInjection:
+    def test_deterministic_for_same_plan(self):
+        plan = FaultPlan(seed=7, transient_read_prob=0.3)
+
+        def run():
+            faulty, pool, ids = faulty_fixture(plan)
+            outcomes = []
+            for page_id in ids * 4:
+                try:
+                    faulty.fetch(page_id)
+                    outcomes.append("ok")
+                except TransientPageError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run() == run()
+        assert "fault" in run() and "ok" in run()
+
+    def test_max_faults_budget(self):
+        plan = FaultPlan(seed=1, transient_read_prob=1.0, max_faults=2)
+        faulty, _, ids = faulty_fixture(plan)
+        failures = 0
+        for page_id in ids:
+            try:
+                faulty.fetch(page_id)
+            except TransientPageError:
+                failures += 1
+        assert failures == 2
+        assert faulty.faults_injected == 2
+
+    def test_injection_metrics(self):
+        plan = FaultPlan(seed=1, transient_read_prob=1.0, max_faults=3)
+        faulty, pool, ids = faulty_fixture(plan)
+        for page_id in ids:
+            pool.read(page_id)  # retry path absorbs every fault
+        counters = faulty.fault_metrics.counters
+        assert counters["faults.injected"].value == 3
+        assert counters["faults.injected.transient"].value == 3
+        assert counters["faults.retried"].value == 3
+
+    def test_transient_fault_recovered_by_retry(self):
+        # repeat=2 < max_attempts=5, budget of 1: the pool must recover.
+        plan = FaultPlan(
+            seed=3, transient_read_prob=1.0, transient_repeat=2, max_faults=1
+        )
+        faulty, pool, ids = faulty_fixture(plan)
+        assert pool.read(ids[0]) == {"n": 0}
+        assert faulty.fault_metrics.counter("faults.retried").value == 2
+
+    def test_retry_exhaustion_reraises(self):
+        # repeat=10 > max_attempts: the fault outlives the retry budget.
+        plan = FaultPlan(
+            seed=3, transient_read_prob=1.0, transient_repeat=10
+        )
+        faulty, pool, ids = faulty_fixture(plan)
+        with pytest.raises(TransientPageError):
+            pool.read(ids[0])
+        assert (
+            faulty.fault_metrics.counter("faults.retried").value
+            == pool.retry.max_attempts - 1
+        )
+
+    def test_bit_flip_detected_on_miss(self):
+        plan = FaultPlan(seed=5, bit_flip_prob=1.0, max_faults=1)
+        faulty, pool, ids = faulty_fixture(plan)
+        with pytest.raises(PageCorruptionError):
+            pool.read(ids[0])
+        assert (
+            faulty.fault_metrics.counter("faults.injected.bit_flip").value
+            == 1
+        )
+
+    def test_torn_write_detected_on_next_miss(self):
+        plan = FaultPlan(seed=5, torn_write_prob=1.0, max_faults=1)
+        faulty, pool, ids = faulty_fixture(plan)
+        page_id = faulty.allocate({"torn": True}, 32)
+        with pytest.raises(PageCorruptionError):
+            pool.read(page_id)
+        assert (
+            faulty.fault_metrics.counter("faults.injected.torn_write").value
+            == 1
+        )
+
+    def test_raw_fetch_bypasses_faults(self):
+        plan = FaultPlan(seed=1, transient_read_prob=1.0)
+        faulty, _, ids = faulty_fixture(plan)
+        for page_id in ids:  # never raises, never consumes the budget
+            assert faulty.raw_fetch(page_id).payload == {
+                "n": ids.index(page_id)
+            }
+        assert faulty.faults_injected == 0
+
+    def test_free_clears_fault_state(self):
+        plan = FaultPlan(
+            seed=3, transient_read_prob=1.0, transient_repeat=10,
+            max_faults=1,
+        )
+        faulty, _, ids = faulty_fixture(plan)
+        with pytest.raises(TransientPageError):
+            faulty.fetch(ids[0])
+        faulty.free(ids[0])
+        with pytest.raises(PageNotFoundError):
+            faulty.fetch(ids[0])
+
+    def test_wrapper_delegates_state(self):
+        plan = FaultPlan(seed=0)
+        faulty, _, ids = faulty_fixture(plan)
+        assert len(faulty) == len(ids)
+        assert ids[0] in faulty
+        assert faulty.allocated_pages == len(ids)
+        assert faulty.counters is faulty.inner.counters
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1.0)
+
+    def test_zero_backoff_does_not_sleep(self):
+        RetryPolicy(backoff_s=0.0).sleep(3)  # returns immediately
