@@ -1,0 +1,98 @@
+"""Recovery cost: how long a crash costs, and what checkpoints buy.
+
+Records ``BENCH_recovery.json`` at the repo root with the schema
+
+    {"n_points", "n_ops", "wal_bytes", "update_s", "update_ops_per_s",
+     "checkpoint_s", "recover_s", "recover_after_checkpoint_s",
+     "records_replayed", "records_replayed_after_checkpoint"}
+
+on a 10k-point workload with 200 online updates: time the WAL-protected
+update stream, recovery over the full log, and recovery right after a
+fresh checkpoint (which must replay ~nothing).  The assertions pin the
+*contract*, not the wall clock — recovery replays every committed op, and
+checkpointing drops replay work to zero.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticSpec, generate_correlated_clusters
+from repro.index.idistance import ExtendedIDistance
+from repro.recovery import checkpoint, make_update_workload, recover
+from repro.recovery.harness import apply_op
+from repro.reduction import MMDRReducer
+from repro.storage.wal import WriteAheadLog
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_recovery_time_and_report(tmp_path):
+    spec = SyntheticSpec(
+        n_points=10_000,
+        dimensionality=32,
+        n_clusters=4,
+        retained_dims=6,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    data = generate_correlated_clusters(spec, np.random.default_rng(42))
+    reduced = MMDRReducer().reduce(data.points, np.random.default_rng(0))
+    ops = make_update_workload(
+        data.points,
+        reduced.n_points,
+        np.random.default_rng(1),
+        n_inserts=120,
+        n_deletes=80,
+    )
+
+    index = ExtendedIDistance(reduced)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    index.enable_wal(wal)
+    checkpoint(index, tmp_path / "ckpt0")
+
+    t0 = time.perf_counter()
+    for op in ops:
+        apply_op(index, op)
+    update_s = time.perf_counter() - t0
+    wal.flush()
+    wal_bytes = (tmp_path / "wal.log").stat().st_size
+
+    t0 = time.perf_counter()
+    recovered, report = recover(tmp_path / "wal.log")
+    recover_s = time.perf_counter() - t0
+    assert report.metas_applied == len(ops)
+    assert recovered.live_count == index.live_count
+
+    t0 = time.perf_counter()
+    checkpoint(index, tmp_path / "ckpt1")
+    checkpoint_s = time.perf_counter() - t0
+    wal.close()
+
+    t0 = time.perf_counter()
+    _, report_after = recover(tmp_path / "wal.log")
+    recover_after_s = time.perf_counter() - t0
+    assert report_after.metas_applied == 0  # all state is in the snapshot
+
+    bench = {
+        "n_points": spec.n_points,
+        "n_ops": len(ops),
+        "wal_bytes": wal_bytes,
+        "update_s": round(update_s, 4),
+        "update_ops_per_s": round(len(ops) / update_s, 1),
+        "checkpoint_s": round(checkpoint_s, 4),
+        "recover_s": round(recover_s, 4),
+        "recover_after_checkpoint_s": round(recover_after_s, 4),
+        "records_replayed": report.records_scanned,
+        "records_replayed_after_checkpoint": report_after.records_scanned,
+    }
+    out = REPO_ROOT / "BENCH_recovery.json"
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    print(
+        "\nrecovery: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(bench.items()))
+    )
+    assert bench["records_replayed_after_checkpoint"] < 5

@@ -25,7 +25,17 @@ from ..storage.metrics import CostCounters
 from ..storage.pager import PageStore
 from .node import INTERNAL_CAPACITY, LEAF_CAPACITY, InternalNode, LeafNode
 
-__all__ = ["BPlusTree", "BTreeCursor"]
+__all__ = ["BPlusTree", "BTreeCursor", "BTreeInvariantError"]
+
+
+class BTreeInvariantError(AssertionError):
+    """A structural invariant of the tree does not hold.
+
+    Raised by :meth:`BPlusTree.check_invariants`; the message names the
+    page and the violated property.  Subclasses ``AssertionError`` because
+    a violation is always a logic bug (or unrecovered corruption), never a
+    condition callers should handle.
+    """
 
 
 class BPlusTree:
@@ -310,8 +320,216 @@ class BPlusTree:
         self._insert_into_parent(path, parent_page, promote, right_id)
 
     # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float, rid: int) -> None:
+        """Remove the entry ``(key, rid)``; raises ``KeyError`` if absent.
+
+        Duplicate keys are resolved by rid, scanning rightward across leaf
+        boundaries when a duplicate run spills over.  Leaves are allowed to
+        underflow (even to empty — cursors and range scans skip them), and
+        no rebalancing or merging happens: online deletes in the simulated
+        index are tombstone-cheap, and :meth:`check_invariants` documents
+        exactly which occupancy bounds therefore still hold.
+        """
+        key = float(key)
+        rid = int(rid)
+        if self.root_page is None:
+            raise KeyError(f"entry ({key!r}, {rid}) not in an empty tree")
+        page_id: Optional[int] = self._descend(key)
+        while page_id is not None:
+            leaf: LeafNode = self.pool.read(page_id)
+            idx = bisect.bisect_left(leaf.keys, key)
+            self.counters.count_key_comparison(
+                max(1, len(leaf.keys).bit_length())
+            )
+            while idx < len(leaf.keys) and leaf.keys[idx] == key:
+                self.counters.count_key_comparison()
+                if leaf.rids[idx] == rid:
+                    del leaf.keys[idx]
+                    del leaf.rids[idx]
+                    self.store.overwrite(page_id, leaf, leaf.size_bytes)
+                    self.pool.invalidate(page_id)
+                    self.n_entries -= 1
+                    return
+                idx += 1
+            if idx < len(leaf.keys):
+                # First key past the duplicates exceeds `key`: not present.
+                break
+            # The duplicate run (or an empty leaf) may continue rightward.
+            page_id = leaf.next_page
+        raise KeyError(f"entry ({key!r}, {rid}) not in tree")
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    def check_invariants(self) -> dict:
+        """Validate the tree's structure; raise :class:`BTreeInvariantError`
+        on the first violation, else return a summary dict.
+
+        Checked properties:
+
+        * every internal node has ``len(children) == len(separators) + 1``,
+          non-decreasing separators, and at most ``internal_capacity``
+          children (at least 2 for the root when the tree has >1 level);
+        * every node's occupancy respects the page-derived capacity upper
+          bound (lower bounds are *not* enforced for leaves: bulk load
+          fills to ~90% and :meth:`delete` never rebalances, so leaves may
+          legally underflow to empty);
+        * every subtree's keys lie within the separator interval routing
+          to it (non-strict on both sides — duplicates may touch either
+          separator);
+        * leaf keys are sorted, with ``len(keys) == len(rids)``;
+        * the leaf sibling chain from the first leaf visits exactly the
+          DFS leaf sequence, with consistent prev/next links and globally
+          non-decreasing keys across the chain;
+        * ``n_entries`` equals the total number of leaf entries and
+          ``height`` the root-to-leaf depth.
+
+        Traversal uses ``raw_fetch`` so validation charges no I/O and
+        observes no injected faults.
+        """
+        if self.root_page is None:
+            if self.n_entries != 0:
+                raise BTreeInvariantError(
+                    f"empty tree claims {self.n_entries} entries"
+                )
+            return {"leaves": 0, "internal": 0, "entries": 0, "depth": 0}
+
+        dfs_leaves: List[int] = []
+        internal_nodes = 0
+        depth_seen = set()
+
+        def walk(
+            page_id: int, lo: Optional[float], hi: Optional[float], depth: int
+        ) -> None:
+            nonlocal internal_nodes
+            node = self.store.raw_fetch(page_id).payload
+            if node.is_leaf:
+                depth_seen.add(depth)
+                if len(node.keys) != len(node.rids):
+                    raise BTreeInvariantError(
+                        f"leaf {page_id}: {len(node.keys)} keys vs "
+                        f"{len(node.rids)} rids"
+                    )
+                if len(node.keys) > self.leaf_capacity:
+                    raise BTreeInvariantError(
+                        f"leaf {page_id} holds {len(node.keys)} entries; "
+                        f"capacity is {self.leaf_capacity}"
+                    )
+                for i in range(len(node.keys) - 1):
+                    if node.keys[i] > node.keys[i + 1]:
+                        raise BTreeInvariantError(
+                            f"leaf {page_id} keys out of order at {i}"
+                        )
+                if node.keys:
+                    if lo is not None and node.keys[0] < lo:
+                        raise BTreeInvariantError(
+                            f"leaf {page_id} key {node.keys[0]!r} below "
+                            f"its routing interval (>= {lo!r})"
+                        )
+                    if hi is not None and node.keys[-1] > hi:
+                        raise BTreeInvariantError(
+                            f"leaf {page_id} key {node.keys[-1]!r} above "
+                            f"its routing interval (<= {hi!r})"
+                        )
+                dfs_leaves.append(page_id)
+                return
+            internal_nodes += 1
+            if len(node.children) != len(node.separators) + 1:
+                raise BTreeInvariantError(
+                    f"internal {page_id}: {len(node.children)} children "
+                    f"vs {len(node.separators)} separators"
+                )
+            if len(node.children) > self.internal_capacity:
+                raise BTreeInvariantError(
+                    f"internal {page_id} holds {len(node.children)} "
+                    f"children; capacity is {self.internal_capacity}"
+                )
+            # Lower bound is 1, not ceil(capacity/2): the bulk loader may
+            # leave a single-child node at a level's tail, and deletes
+            # never rebalance — both are valid states for this tree.
+            if len(node.children) < 1:
+                raise BTreeInvariantError(
+                    f"internal {page_id} has no children"
+                )
+            for i in range(len(node.separators) - 1):
+                if node.separators[i] > node.separators[i + 1]:
+                    raise BTreeInvariantError(
+                        f"internal {page_id} separators out of order "
+                        f"at {i}"
+                    )
+            for i, child in enumerate(node.children):
+                child_lo = (
+                    lo if i == 0 else node.separators[i - 1]
+                )
+                child_hi = (
+                    hi
+                    if i == len(node.separators)
+                    else node.separators[i]
+                )
+                walk(child, child_lo, child_hi, depth + 1)
+
+        walk(self.root_page, None, None, 1)
+
+        if len(depth_seen) != 1:
+            raise BTreeInvariantError(
+                f"leaves at differing depths: {sorted(depth_seen)}"
+            )
+        depth = depth_seen.pop()
+        if depth != self.height:
+            raise BTreeInvariantError(
+                f"height says {self.height}, leaves sit at depth {depth}"
+            )
+
+        # Leaf sibling chain: same pages, same order, consistent links,
+        # globally sorted keys, and an entry count matching n_entries.
+        chain: List[int] = []
+        entries = 0
+        prev_id: Optional[int] = None
+        prev_last_key: Optional[float] = None
+        page_id = self._first_leaf
+        while page_id is not None:
+            if len(chain) > len(dfs_leaves):
+                raise BTreeInvariantError(
+                    "leaf chain is longer than the tree's leaf set "
+                    "(cycle or stray link)"
+                )
+            leaf = self.store.raw_fetch(page_id).payload
+            if leaf.prev_page != prev_id:
+                raise BTreeInvariantError(
+                    f"leaf {page_id} prev_page is {leaf.prev_page}, "
+                    f"expected {prev_id}"
+                )
+            if leaf.keys:
+                if (
+                    prev_last_key is not None
+                    and leaf.keys[0] < prev_last_key
+                ):
+                    raise BTreeInvariantError(
+                        f"leaf chain keys regress entering {page_id}"
+                    )
+                prev_last_key = leaf.keys[-1]
+            entries += len(leaf.keys)
+            chain.append(page_id)
+            prev_id = page_id
+            page_id = leaf.next_page
+        if chain != dfs_leaves:
+            raise BTreeInvariantError(
+                "leaf chain and tree DFS disagree on the leaf sequence"
+            )
+        if entries != self.n_entries:
+            raise BTreeInvariantError(
+                f"n_entries says {self.n_entries}, leaves hold {entries}"
+            )
+        return {
+            "leaves": len(chain),
+            "internal": internal_nodes,
+            "entries": entries,
+            "depth": depth,
+        }
 
     def __len__(self) -> int:
         return self.n_entries

@@ -64,7 +64,11 @@ class EllipticalSubspace:
 
     def __post_init__(self) -> None:
         self.mean = np.asarray(self.mean, dtype=np.float64)
-        self.basis = np.asarray(self.basis, dtype=np.float64)
+        # Contiguous, always: a column-sliced eigenvector view takes a
+        # different BLAS path than the contiguous copy a pickle round trip
+        # produces, and the 1-ulp drift breaks snapshot/recovery
+        # bit-identity checks.
+        self.basis = np.ascontiguousarray(self.basis, dtype=np.float64)
         self.member_ids = np.asarray(self.member_ids, dtype=np.int64)
         self.projections = np.asarray(self.projections, dtype=np.float64)
         if self.basis.ndim != 2:

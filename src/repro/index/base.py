@@ -22,12 +22,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Union
+
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.buffer import BufferPool
-from ..storage.faults import FaultPlan, FaultyPageStore
+from ..storage.faults import CrashPoint, FaultPlan, FaultyPageStore
 from ..storage.metrics import CostCounters, CostSnapshot
 from ..storage.pager import PageStore
+from ..storage.wal import WALPageStore, WriteAheadLog
 
 __all__ = [
     "InvalidQueryError",
@@ -385,6 +390,18 @@ class VectorIndex(ABC):
             )
         return query
 
+    def _repoint_store(self, store: PageStore) -> None:
+        """Swap every component's store reference (buffer pool, B+-tree,
+        Hybrid trees) to ``store`` — the attach/detach primitive shared by
+        fault injection and WAL protection."""
+        self.store = store
+        self.pool.store = store
+        tree = getattr(self, "tree", None)
+        if tree is not None:
+            tree.store = store
+        for hybrid in getattr(self, "trees", []):
+            hybrid.store = store
+
     def enable_faults(
         self,
         plan: FaultPlan,
@@ -405,13 +422,7 @@ class VectorIndex(ABC):
                 "fault injection is already enabled on this index"
             )
         faulty = FaultyPageStore(self.store, plan, metrics=metrics)
-        self.store = faulty
-        self.pool.store = faulty
-        tree = getattr(self, "tree", None)
-        if tree is not None:
-            tree.store = faulty
-        for hybrid in getattr(self, "trees", []):
-            hybrid.store = faulty
+        self._repoint_store(faulty)
         return faulty
 
     def disable_faults(self) -> None:
@@ -419,14 +430,121 @@ class VectorIndex(ABC):
         store = self.store
         if not isinstance(store, FaultyPageStore):
             return
-        inner = store.inner
-        self.store = inner
-        self.pool.store = inner
-        tree = getattr(self, "tree", None)
-        if tree is not None:
-            tree.store = inner
-        for hybrid in getattr(self, "trees", []):
-            hybrid.store = inner
+        self._repoint_store(store.inner)
+
+    # ------------------------------------------------------------------
+    # durability (DESIGN.md §10)
+    # ------------------------------------------------------------------
+
+    def enable_wal(
+        self,
+        wal: Union[WriteAheadLog, str, Path],
+        crashpoint: Optional[CrashPoint] = None,
+    ) -> WALPageStore:
+        """Put every subsequent page mutation under write-ahead logging.
+
+        ``wal`` is an open :class:`~repro.storage.wal.WriteAheadLog` or a
+        path to create one at.  All store references are repointed at a
+        :class:`~repro.storage.wal.WALPageStore` wrapper, after which
+        :meth:`insert` / :meth:`delete` run as logged transactions and are
+        recoverable via :func:`repro.recovery.recover`.  ``crashpoint``
+        arms a deterministic simulated crash (test harnesses).
+
+        Layering rules: WAL-over-faults or faults-over-WAL is not
+        supported — disable one before enabling the other.
+        """
+        if isinstance(self.store, (WALPageStore, FaultyPageStore)):
+            raise RuntimeError(
+                "the index's store is already wrapped (WAL or fault "
+                "injection); disable that layer first"
+            )
+        if not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        wal_store = WALPageStore(self.store, wal, crashpoint=crashpoint)
+        self._repoint_store(wal_store)
+        return wal_store
+
+    def disable_wal(self) -> Optional[WALPageStore]:
+        """Detach WAL protection, restoring the inner store.
+
+        Returns the detached wrapper (so a checkpoint can reattach it via
+        :meth:`reattach_wal`), or ``None`` when WAL was not enabled.  The
+        log itself is left open and untouched.
+        """
+        store = self.store
+        if not isinstance(store, WALPageStore):
+            return None
+        self._repoint_store(store.inner)
+        return store
+
+    def reattach_wal(self, wal_store: WALPageStore) -> None:
+        """Re-point the index at a wrapper from :meth:`disable_wal`
+        (checkpointing detaches around the snapshot write)."""
+        if wal_store.inner is not self.store:
+            raise RuntimeError(
+                "wal_store does not wrap this index's current store"
+            )
+        self._repoint_store(wal_store)
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log, or ``None`` when not enabled."""
+        store = self.store
+        if isinstance(store, WALPageStore):
+            return store.wal
+        return None
+
+    @contextmanager
+    def _wal_txn(self, kind: str):
+        """Run a mutation as a WAL transaction when WAL is enabled.
+
+        Yields the open :class:`~repro.storage.wal.WALTransaction` (the
+        mutator calls ``set_meta`` with its recovery after-image before
+        the block ends) or ``None`` when the index is unprotected — the
+        mutation then simply runs unlogged, preserving the pre-WAL API.
+        """
+        wal = self.wal
+        if wal is None:
+            yield None
+            return
+        with wal.transaction(kind) as txn:
+            yield txn
+
+    def _apply_recovery_meta(self, meta: dict) -> None:
+        """Apply one committed transaction's index-level after-image
+        (recovery's metadata redo).  Subclasses that support online
+        mutation override this."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support metadata recovery"
+        )
+
+    @property
+    def live_count(self) -> int:
+        """Visible points: bulk load plus online inserts minus deletes."""
+        reduced = getattr(self, "reduced", None)
+        bulk = int(reduced.n_points) if reduced is not None else 0
+        return (
+            bulk
+            + int(getattr(self, "n_inserted", 0))
+            - len(getattr(self, "_tombstones", ()))
+        )
+
+    def _tombstone_array(self) -> np.ndarray:
+        """Sorted int64 array of deleted rids, for vectorized filtering.
+
+        Cached by size — tombstone sets only grow, so a size match means
+        the cache is current.
+        """
+        tombs = getattr(self, "_tombstones", None)
+        if not tombs:
+            return np.empty(0, dtype=np.int64)
+        cache = getattr(self, "_tomb_cache", None)
+        if cache is None or cache.size != len(tombs):
+            cache = np.fromiter(
+                sorted(tombs), dtype=np.int64, count=len(tombs)
+            )
+            self._tomb_cache = cache
+        return cache
 
     @property
     def size_pages(self) -> int:

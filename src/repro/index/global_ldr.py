@@ -27,6 +27,7 @@ from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..storage.pager import pages_for_vectors
 from .base import DEFAULT_POOL_PAGES, KNNResult, QueryStats, VectorIndex
+from .dynamic import DeltaStore, route_point
 from .hybrid_tree import HybridTree
 
 __all__ = ["GlobalLDRIndex"]
@@ -59,6 +60,72 @@ class GlobalLDRIndex(VectorIndex):
         )
         for _ in range(self.outlier_pages):
             self.store.allocate(("gldr-outliers",), 0)
+        self.delta = DeltaStore("gldr")
+        self.n_inserted = 0
+        self._tombstones: set = set()
+
+    # ------------------------------------------------------------------
+    # online mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: np.ndarray, rid: int, beta: float = 0.1
+    ) -> int:
+        """Insert a point into the index's delta store, routed like the
+        paper's dynamic insert (nearest subspace within β, else outlier).
+        The delta rides alongside the Hybrid trees and is scanned by every
+        query.  Returns the subspace index used (-1 for outlier/full-d)."""
+        point = np.asarray(point, dtype=np.float64)
+        rid = int(rid)
+        if rid in self._tombstones:
+            raise ValueError(
+                f"rid {rid} was deleted from this index; deleted ids "
+                "cannot be reused before a rebuild"
+            )
+        sidx, vector = route_point(self.reduced, point, beta)
+        with self._wal_txn("insert") as txn:
+            self.delta.add(self.store, rid, sidx, vector)
+            self.n_inserted += 1
+            if txn is not None:
+                txn.set_meta(
+                    {
+                        "kind": "insert",
+                        "rid": rid,
+                        "subspace": sidx,
+                        "vector": vector,
+                        **self.delta.fill_meta(),
+                    }
+                )
+        return sidx
+
+    def delete(self, rid: int) -> None:
+        """Tombstone a record id.  Raises ``KeyError`` for unknown or
+        already-deleted rids."""
+        rid = int(rid)
+        if rid in self._tombstones:
+            raise KeyError(f"rid {rid} was already deleted")
+        if not (0 <= rid < self.reduced.n_points) and (
+            rid not in self.delta.rids
+        ):
+            raise KeyError(f"rid {rid} is not in the index")
+        with self._wal_txn("delete") as txn:
+            self._tombstones.add(rid)
+            if txn is not None:
+                txn.set_meta({"kind": "delete", "rid": rid})
+
+    def _apply_recovery_meta(self, meta: dict) -> None:
+        if not hasattr(self, "_tombstones"):
+            self._tombstones = set()
+        kind = meta["kind"]
+        if kind == "insert":
+            self.delta.apply_insert(
+                meta["rid"], meta["subspace"], meta["vector"], meta
+            )
+            self.n_inserted = getattr(self, "n_inserted", 0) + 1
+        elif kind == "delete":
+            self._tombstones.add(int(meta["rid"]))
+        else:
+            raise ValueError(f"unknown recovery meta kind {kind!r}")
 
     def knn(
         self,
@@ -81,7 +148,7 @@ class GlobalLDRIndex(VectorIndex):
         k: int,
         tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        k = min(k, self.reduced.n_points)
+        k = min(k, self.live_count)
         q_proj = [
             self.reduced.subspaces[i].project(query)
             for i in range(len(self.trees))
@@ -104,9 +171,17 @@ class GlobalLDRIndex(VectorIndex):
         *accounting* is charged here either way, so batched and sequential
         executions cost the same.
         """
+        if k <= 0:  # every point deleted — nothing to return
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
         results: List[Tuple[float, int]] = []  # max-heap via negation
+        tombs = getattr(self, "_tombstones", ())
 
         def offer(dist: float, rid: int) -> None:
+            if rid in tombs:
+                return
             if len(results) < k:
                 heapq.heappush(results, (-dist, rid))
             elif dist < -results[0][0]:
@@ -133,6 +208,25 @@ class GlobalLDRIndex(VectorIndex):
                 )
                 for dist, rid in zip(dists, outliers.member_ids):
                     offer(float(dist), int(rid))
+
+        # Delta store next (few entries; exact distances, like outliers):
+        # scoring it before the trees tightens the bound further.
+        delta = getattr(self, "delta", None)
+        if delta is not None and len(delta):
+            with tracer.span(
+                "gldr.delta_scan",
+                counters=self.counters,
+                entries=len(delta),
+            ):
+                for page in delta.pages:
+                    self.pool.read(page)
+                for vec, rid, sidx in delta.entries():
+                    ref = q_proj[sidx] if sidx >= 0 else query
+                    dist = float(np.linalg.norm(vec - ref))
+                    self.counters.count_distance(
+                        1, dims=max(1, vec.size)
+                    )
+                    offer(dist, int(rid))
 
         # One global frontier across every cluster's tree.
         frontier: List[Tuple[float, int, int]] = []
@@ -193,7 +287,7 @@ class GlobalLDRIndex(VectorIndex):
                 np.empty((0, 0), dtype=np.float64),
                 [],
             )
-        k_eff = min(k, self.reduced.n_points)
+        k_eff = min(k, self.live_count)
         outliers = self.reduced.outliers
         outlier_dists: Optional[np.ndarray] = None
         if outliers.size:

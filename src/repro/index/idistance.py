@@ -243,6 +243,11 @@ class ExtendedIDistance(VectorIndex):
         # the bulk id range); positions count past the bulk arrays into the
         # partition's delta store.
         self._delta_location: Dict[int, Tuple[int, int]] = {}
+        self.n_inserted = 0
+        # Deleted rids.  Deletes remove the B+-tree entry physically but
+        # leave the (immutable) bulk/delta vector arrays alone; scans filter
+        # dead rids when offering candidates.
+        self._tombstones: set = set()
         self.tree = BPlusTree(self.store, self.pool)
         self._bulk_load_tree()
         # Entry rank -> leaf page, for charging tree I/O during scans: the
@@ -389,29 +394,114 @@ class ExtendedIDistance(VectorIndex):
                 f"constant c={self.c:.4f}; rebuild the index to extend "
                 "its key space"
             )
-        self.tree.insert(best.index * self.c + offset, int(rid))
-        best.delta_vectors.append(vector)
-        best.delta_rids.append(int(rid))
-        self._delta_location[int(rid)] = (
-            best.index,
-            best.rids.size + len(best.delta_rids) - 1,
-        )
-        best.max_radius = max(best.max_radius, offset)
-        best.min_radius = min(best.min_radius, offset)
-        # Delta vectors pack into pages of their own (charged on scan).
-        per_page = max(
-            1, PAGE_SIZE // max(1, vector_bytes(vector.shape[0]))
-        )
-        if len(best.delta_rids) > len(best.delta_pages) * per_page:
-            best.delta_pages.append(
-                self.store.allocate(
-                    ("idistance-delta", best.index,
-                     len(best.delta_pages)),
-                    0,
-                )
+        rid = int(rid)
+        if rid in getattr(self, "_tombstones", ()):
+            raise ValueError(
+                f"rid {rid} was deleted from this index; deleted ids "
+                "cannot be reused before a rebuild"
             )
-        self.n_inserted = getattr(self, "n_inserted", 0) + 1
+        with self._wal_txn("insert") as txn:
+            self.tree.insert(best.index * self.c + offset, rid)
+            best.delta_vectors.append(vector)
+            best.delta_rids.append(rid)
+            self._delta_location[rid] = (
+                best.index,
+                best.rids.size + len(best.delta_rids) - 1,
+            )
+            best.max_radius = max(best.max_radius, offset)
+            best.min_radius = min(best.min_radius, offset)
+            # Delta vectors pack into pages of their own (charged on scan).
+            per_page = max(
+                1, PAGE_SIZE // max(1, vector_bytes(vector.shape[0]))
+            )
+            if len(best.delta_rids) > len(best.delta_pages) * per_page:
+                best.delta_pages.append(
+                    self.store.allocate(
+                        ("idistance-delta", best.index,
+                         len(best.delta_pages)),
+                        0,
+                    )
+                )
+            self.n_inserted = getattr(self, "n_inserted", 0) + 1
+            if txn is not None:
+                txn.set_meta(
+                    {
+                        "kind": "insert",
+                        "rid": rid,
+                        "partition": best.index,
+                        "vector": vector,
+                        "delta_pages": list(best.delta_pages),
+                        "min_radius": best.min_radius,
+                        "max_radius": best.max_radius,
+                        **self._tree_meta(),
+                    }
+                )
         return best.index
+
+    def delete(self, rid: int) -> int:
+        """Delete a record id: remove its B+-tree entry physically and
+        tombstone the rid (the immutable vector arrays keep the dead entry;
+        scans still score it but filter it from results).  Returns the
+        partition index the rid lived in.  Raises ``KeyError`` for unknown
+        or already-deleted rids.
+        """
+        rid = int(rid)
+        part_idx, position = self.locate(rid)
+        partition = self.partitions[part_idx]
+        # Reconstruct the entry's key exactly as insertion computed it —
+        # bulk keys came from the stored offsets, delta keys from
+        # ||vector - centroid|| — so the float is bit-identical.
+        if position < partition.rids.size:
+            offset = float(partition.offsets[position])
+        else:
+            vector = partition.delta_vectors[
+                position - partition.rids.size
+            ]
+            offset = float(np.linalg.norm(vector - partition.centroid))
+        with self._wal_txn("delete") as txn:
+            self.tree.delete(part_idx * self.c + offset, rid)
+            self._tombstones.add(rid)
+            if txn is not None:
+                txn.set_meta(
+                    {"kind": "delete", "rid": rid, **self._tree_meta()}
+                )
+        return part_idx
+
+    def _tree_meta(self) -> dict:
+        """The B+-tree's in-memory scalars, for a commit after-image
+        (page contents are redone physically; these are not page-resident)."""
+        return {
+            "tree_root": self.tree.root_page,
+            "tree_height": self.tree.height,
+            "tree_n_entries": self.tree.n_entries,
+            "tree_first_leaf": self.tree._first_leaf,
+        }
+
+    def _apply_recovery_meta(self, meta: dict) -> None:
+        if not hasattr(self, "_tombstones"):
+            self._tombstones = set()
+        kind = meta["kind"]
+        if kind == "insert":
+            partition = self.partitions[meta["partition"]]
+            vector = np.asarray(meta["vector"], dtype=np.float64)
+            partition.delta_vectors.append(vector)
+            partition.delta_rids.append(int(meta["rid"]))
+            partition.delta_pages = list(meta["delta_pages"])
+            partition.min_radius = float(meta["min_radius"])
+            partition.max_radius = float(meta["max_radius"])
+            self._delta_location[int(meta["rid"])] = (
+                partition.index,
+                partition.rids.size + len(partition.delta_rids) - 1,
+            )
+            self.n_inserted = getattr(self, "n_inserted", 0) + 1
+        elif kind == "delete":
+            self._tombstones.add(int(meta["rid"]))
+        else:
+            raise ValueError(f"unknown recovery meta kind {kind!r}")
+        self.tree.root_page = meta["tree_root"]
+        self.tree.height = meta["tree_height"]
+        self.tree.n_entries = meta["tree_n_entries"]
+        self.tree._first_leaf = meta["tree_first_leaf"]
 
     def locate(self, rid: int) -> Tuple[int, int]:
         """Where a record id lives: ``(partition_index, position)``.
@@ -425,6 +515,8 @@ class ExtendedIDistance(VectorIndex):
         themselves as they arrive.  Raises ``KeyError`` for unknown rids.
         """
         rid = int(rid)
+        if rid in getattr(self, "_tombstones", ()):
+            raise KeyError(f"rid {rid} was deleted from the index")
         if (
             0 <= rid < self._rid_location.shape[0]
             and self._rid_location[rid, 0] >= 0
@@ -470,9 +562,12 @@ class ExtendedIDistance(VectorIndex):
         k: int,
         tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        k = min(
-            k, self.reduced.n_points + getattr(self, "n_inserted", 0)
-        )
+        k = min(k, self.live_count)
+        if k <= 0:  # every point deleted — nothing to return
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
         # Per-partition query geometry.
         q_proj: List[np.ndarray] = []
         q_dist: List[float] = []
@@ -595,7 +690,10 @@ class ExtendedIDistance(VectorIndex):
                 self.counters.count_distance(
                     block.shape[0], dims=max(1, block.shape[1])
                 )
+                tombs = getattr(self, "_tombstones", ())
                 for dist, rid in zip(dists, partition.delta_rids):
+                    if rid in tombs:
+                        continue
                     offer(float(dist), int(rid))
         inward, outward = scans[idx]
         bound = min(radius, kth_best())
@@ -672,6 +770,10 @@ class ExtendedIDistance(VectorIndex):
             positions.size, dims=max(1, block.shape[1])
         )
         rids = partition.rids[positions]
+        tombs = self._tombstone_array()
+        if tombs.size:
+            alive = ~np.isin(rids, tombs)
+            dists, rids = dists[alive], rids[alive]
         # Pre-filter: a candidate at or beyond the current K-th best can
         # never enter the heap (the bound only tightens).
         current = kth_best()
@@ -718,10 +820,17 @@ class ExtendedIDistance(VectorIndex):
                 np.empty((0, 0), dtype=np.float64),
                 [],
             )
-        k_eff = min(
-            k, self.reduced.n_points + getattr(self, "n_inserted", 0)
-        )
+        k_eff = min(k, self.live_count)
+        if k_eff <= 0:  # every point deleted — nothing to return
+            zero = QueryStats(0, 0, 0, 0, 0.0)
+            return (
+                np.empty((n_queries, 0), dtype=np.int64),
+                np.empty((n_queries, 0), dtype=np.float64),
+                [zero] * n_queries,
+            )
         n_parts = len(self.partitions)
+        tombs = self._tombstone_array()
+        tomb_set = getattr(self, "_tombstones", ())
 
         # Per-partition query geometry.  Projections stay per-query gemv
         # calls (a stacked gemm is NOT bit-identical to gemv rows — see
@@ -856,6 +965,8 @@ class ExtendedIDistance(VectorIndex):
                         for dist, rid in zip(
                             ddists.tolist(), partition.delta_rids
                         ):
+                            if rid in tomb_set:
+                                continue
                             if len(heap) < k_eff:
                                 heapq.heappush(heap, (-dist, rid))
                             elif dist < -heap[0][0]:
@@ -979,6 +1090,10 @@ class ExtendedIDistance(VectorIndex):
                         seg_d = np.add.reduce(diff, axis=1)
                         np.sqrt(seg_d, out=seg_d)
                         seg_r = rids_all[lo_pos : lo_pos + ln]
+                    if tombs.size:
+                        alive = ~np.isin(seg_r, tombs)
+                        seg_d = seg_d[alive]
+                        seg_r = seg_r[alive]
                     # kth[qi] is maintained at every heap mutation, so it
                     # IS the sequential path's "current k-th best" here.
                     current = kth[qi]

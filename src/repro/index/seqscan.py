@@ -6,6 +6,12 @@ vector.  No index structure, no random I/O: for a reduced dataset of
 ``n`` vectors at average width ``d_r`` the cost is exactly
 ``ceil(n * d_r * 4 / 4096)`` sequential page reads — the bar the paper shows
 gLDR falling *behind* once the dimensionality reaches ~20.
+
+Online mutation (DESIGN.md §10): inserts append to a
+:class:`~repro.index.dynamic.DeltaStore` whose pages join the scan;
+deletes tombstone the rid, and the scan still scores the dead entry but
+filters it from the result — both run as WAL transactions when
+:meth:`~repro.index.base.VectorIndex.enable_wal` is active.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from ..reduction.base import ReducedDataset
 from ..storage.metrics import CostSnapshot
 from ..storage.pager import pages_for_vectors
 from .base import DEFAULT_POOL_PAGES, KNNResult, QueryStats, VectorIndex
+from .dynamic import DeltaStore, route_point
 
 __all__ = ["SequentialScan"]
 
@@ -36,7 +43,7 @@ class SequentialScan(VectorIndex):
     ) -> None:
         super().__init__(pool_pages=pool_pages)
         self.reduced = reduced
-        #: Total pages one scan must read (subspaces + outliers).
+        #: Pages the bulk-loaded data occupies (subspaces + outliers).
         self.scan_pages = sum(
             pages_for_vectors(s.size, s.reduced_dim)
             for s in reduced.subspaces
@@ -51,6 +58,80 @@ class SequentialScan(VectorIndex):
             pages_for_vectors(reduced.outliers.size, reduced.dimensionality)
         ):
             self.store.allocate(("seqscan-outliers",), 0)
+        self.delta = DeltaStore("seqscan")
+        self.n_inserted = 0
+        self._tombstones: set = set()
+
+    @property
+    def total_scan_pages(self) -> int:
+        """Pages one full scan reads: bulk data plus the insert delta."""
+        return self.scan_pages + len(self.delta.pages)
+
+    # ------------------------------------------------------------------
+    # online mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: np.ndarray, rid: int, beta: float = 0.1
+    ) -> int:
+        """Insert a point into the scan's delta store, routed like the
+        paper's dynamic insert (nearest subspace within β, else outlier).
+        Returns the subspace index used (-1 for outlier/full-d)."""
+        point = np.asarray(point, dtype=np.float64)
+        rid = int(rid)
+        if rid in self._tombstones:
+            raise ValueError(
+                f"rid {rid} was deleted from this index; deleted ids "
+                "cannot be reused before a rebuild"
+            )
+        sidx, vector = route_point(self.reduced, point, beta)
+        with self._wal_txn("insert") as txn:
+            self.delta.add(self.store, rid, sidx, vector)
+            self.n_inserted += 1
+            if txn is not None:
+                txn.set_meta(
+                    {
+                        "kind": "insert",
+                        "rid": rid,
+                        "subspace": sidx,
+                        "vector": vector,
+                        **self.delta.fill_meta(),
+                    }
+                )
+        return sidx
+
+    def delete(self, rid: int) -> None:
+        """Tombstone a record id.  Raises ``KeyError`` for unknown or
+        already-deleted rids."""
+        rid = int(rid)
+        if rid in self._tombstones:
+            raise KeyError(f"rid {rid} was already deleted")
+        if not (0 <= rid < self.reduced.n_points) and (
+            rid not in self.delta.rids
+        ):
+            raise KeyError(f"rid {rid} is not in the index")
+        with self._wal_txn("delete") as txn:
+            self._tombstones.add(rid)
+            if txn is not None:
+                txn.set_meta({"kind": "delete", "rid": rid})
+
+    def _apply_recovery_meta(self, meta: dict) -> None:
+        if not hasattr(self, "_tombstones"):
+            self._tombstones = set()
+        kind = meta["kind"]
+        if kind == "insert":
+            self.delta.apply_insert(
+                meta["rid"], meta["subspace"], meta["vector"], meta
+            )
+            self.n_inserted = getattr(self, "n_inserted", 0) + 1
+        elif kind == "delete":
+            self._tombstones.add(int(meta["rid"]))
+        else:
+            raise ValueError(f"unknown recovery meta kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
 
     def knn(
         self,
@@ -73,23 +154,30 @@ class SequentialScan(VectorIndex):
         k: int,
         tracer: Tracer = NULL_TRACER,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        k = min(k, self.reduced.n_points)
+        k = min(k, self.live_count)
+        if k <= 0:  # every point deleted — nothing to return
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
         with tracer.span(
             "knn.sequential_scan",
             counters=self.counters,
-            pages=self.scan_pages,
+            pages=self.total_scan_pages,
         ):
             return self._scan_all(query, k)
 
     def _scan_all(
         self, query: np.ndarray, k: int
     ) -> Tuple[np.ndarray, np.ndarray]:
-        self.counters.count_sequential_read(self.scan_pages)
+        self.counters.count_sequential_read(self.total_scan_pages)
 
         id_chunks: List[np.ndarray] = []
         dist_chunks: List[np.ndarray] = []
+        q_projs: List[np.ndarray] = []
         for subspace in self.reduced.subspaces:
             q_proj = subspace.project(query)
+            q_projs.append(q_proj)
             diff = subspace.projections - q_proj
             dist_chunks.append(np.linalg.norm(diff, axis=1))
             id_chunks.append(subspace.member_ids)
@@ -104,9 +192,21 @@ class SequentialScan(VectorIndex):
             self.counters.count_distance(
                 outliers.size, dims=self.reduced.dimensionality
             )
+        if len(self.delta):
+            ddists = np.empty(len(self.delta), dtype=np.float64)
+            for j, (vec, _, sidx) in enumerate(self.delta.entries()):
+                ref = q_projs[sidx] if sidx >= 0 else query
+                ddists[j] = float(np.linalg.norm(vec - ref))
+                self.counters.count_distance(1, dims=max(1, vec.size))
+            dist_chunks.append(ddists)
+            id_chunks.append(np.asarray(self.delta.rids, dtype=np.int64))
 
         ids = np.concatenate(id_chunks)
         distances = np.concatenate(dist_chunks)
+        tombs = self._tombstone_array()
+        if tombs.size:
+            alive = ~np.isin(ids, tombs)
+            ids, distances = ids[alive], distances[alive]
         top = np.argpartition(distances, k - 1)[:k]
         order = np.argsort(distances[top])
         best = top[order]
@@ -125,18 +225,29 @@ class SequentialScan(VectorIndex):
         argpartition/argsort pair row-wise.  Queries are still projected
         one at a time with the per-query gemv the sequential path uses,
         because a gemm over the stacked queries is *not* bit-identical.
+        Delta entries are likewise scored with the *same* per-entry norm
+        the sequential scan issues, and tombstoned columns are dropped
+        before selection exactly as the sequential path drops them.
         """
         n_queries = queries.shape[0]
-        k = min(k, self.reduced.n_points)
+        k = min(k, self.live_count)
+        if k <= 0:  # every point deleted — nothing to return
+            zero = QueryStats(0, 0, 0, 0, 0.0)
+            return (
+                np.empty((n_queries, 0), dtype=np.int64),
+                np.empty((n_queries, 0), dtype=np.float64),
+                [zero] * n_queries,
+            )
         distance_computations = 0
         distance_flops = 0
         dist_blocks: List[np.ndarray] = []
         id_chunks: List[np.ndarray] = []
+        q_proj_blocks: List[np.ndarray] = []
         with tracer.span(
             "knn.sequential_scan_batch",
             counters=self.counters,
             n_queries=n_queries,
-            pages=self.scan_pages,
+            pages=self.total_scan_pages,
         ):
             for subspace in self.reduced.subspaces:
                 q_proj = np.empty(
@@ -144,6 +255,7 @@ class SequentialScan(VectorIndex):
                 )
                 for i in range(n_queries):
                     q_proj[i] = subspace.project(queries[i])
+                q_proj_blocks.append(q_proj)
                 dist_blocks.append(
                     batch_l2_rows(subspace.projections, q_proj)
                 )
@@ -158,9 +270,38 @@ class SequentialScan(VectorIndex):
                 distance_flops += (
                     outliers.size * self.reduced.dimensionality
                 )
+            if len(self.delta):
+                dblock = np.empty(
+                    (n_queries, len(self.delta)), dtype=np.float64
+                )
+                for i in range(n_queries):
+                    for j, (vec, _, sidx) in enumerate(
+                        self.delta.entries()
+                    ):
+                        ref = (
+                            q_proj_blocks[sidx][i]
+                            if sidx >= 0
+                            else queries[i]
+                        )
+                        dblock[i, j] = float(np.linalg.norm(vec - ref))
+                dist_blocks.append(dblock)
+                id_chunks.append(
+                    np.asarray(self.delta.rids, dtype=np.int64)
+                )
+                distance_computations += len(self.delta)
+                distance_flops += sum(
+                    max(1, vec.size) for vec in self.delta.vectors
+                )
 
             ids = np.concatenate(id_chunks)
-            distances = np.concatenate(dist_blocks, axis=1)
+            distances = np.concatenate(
+                [np.atleast_2d(b) for b in dist_blocks], axis=1
+            )
+            tombs = self._tombstone_array()
+            if tombs.size:
+                alive = ~np.isin(ids, tombs)
+                ids = ids[alive]
+                distances = distances[:, alive]
             top = np.argpartition(distances, k - 1, axis=1)[:, :k]
             gathered = np.take_along_axis(distances, top, axis=1)
             order = np.argsort(gathered, axis=1)
@@ -169,7 +310,7 @@ class SequentialScan(VectorIndex):
             best_dists = np.take_along_axis(distances, best, axis=1)
 
             per_query = QueryStats(
-                page_reads=self.scan_pages,
+                page_reads=self.total_scan_pages,
                 distance_computations=distance_computations,
                 distance_flops=distance_flops,
                 key_comparisons=0,
@@ -177,7 +318,7 @@ class SequentialScan(VectorIndex):
             )
             self.counters.merge(
                 CostSnapshot(
-                    sequential_reads=self.scan_pages * n_queries,
+                    sequential_reads=self.total_scan_pages * n_queries,
                     distance_computations=(
                         distance_computations * n_queries
                     ),

@@ -8,7 +8,14 @@ counts, and we time CPU work with :class:`CostCounters`.
 """
 
 from .buffer import BufferPool
-from .faults import FaultPlan, FaultyPageStore, RetryPolicy, corrupt_page
+from .faults import (
+    CrashError,
+    CrashPoint,
+    FaultPlan,
+    FaultyPageStore,
+    RetryPolicy,
+    corrupt_page,
+)
 from .metrics import CostCounters, CostSnapshot
 from .pager import (
     FLOAT_SIZE,
@@ -28,10 +35,20 @@ from .pager import (
     verify_page,
 )
 
+from .wal import (
+    WALPageStore,
+    WALProtocolError,
+    WALRecord,
+    WALTransaction,
+    WriteAheadLog,
+)
+
 __all__ = [
     "BufferPool",
     "CostCounters",
     "CostSnapshot",
+    "CrashError",
+    "CrashPoint",
     "FLOAT_SIZE",
     "FaultPlan",
     "FaultyPageStore",
@@ -46,6 +63,11 @@ __all__ = [
     "PageStore",
     "RetryPolicy",
     "TransientPageError",
+    "WALPageStore",
+    "WALProtocolError",
+    "WALRecord",
+    "WALTransaction",
+    "WriteAheadLog",
     "corrupt_page",
     "page_checksum",
     "pages_for_vectors",

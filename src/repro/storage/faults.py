@@ -48,11 +48,59 @@ from .pager import (
 )
 
 __all__ = [
+    "CrashError",
+    "CrashPoint",
     "FaultPlan",
     "FaultyPageStore",
     "RetryPolicy",
     "corrupt_page",
 ]
+
+
+class CrashError(RuntimeError):
+    """A simulated process crash (power loss) at a planned crashpoint.
+
+    Raised by :class:`~repro.storage.wal.WALPageStore` when its
+    :class:`CrashPoint` fires.  The in-memory index that was mutating is
+    considered lost; only the write-ahead log and the last checkpoint
+    snapshot survive, and :func:`repro.recovery.recover` rebuilds from
+    those.  Catching this anywhere except a crash harness is a bug.
+    """
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Deterministic crash schedule: die at the N-th physical page write.
+
+    ``at_write`` is 1-based and counts every page mutation (allocate,
+    overwrite, free) applied through the WAL-protected store since the
+    crashpoint was armed.  ``phase`` selects which side of the
+    log-before-write ordering the power is cut on:
+
+    * ``"after_log"`` (default) — the WAL record for the N-th write is
+      durable but the page image never lands: the classic torn schedule
+      redo-only recovery exists for;
+    * ``"before_log"`` — the crash precedes even the log append, so the
+      log ends at the previous record.
+
+    Either way the interrupted transaction has no COMMIT record and is
+    discarded by recovery; the two phases exist to prove that claim from
+    both sides of every write.
+    """
+
+    at_write: int
+    phase: str = "after_log"
+
+    def __post_init__(self) -> None:
+        if self.at_write < 1:
+            raise ValueError(
+                f"at_write is 1-based and must be >= 1, got {self.at_write}"
+            )
+        if self.phase not in ("after_log", "before_log"):
+            raise ValueError(
+                f"phase must be 'after_log' or 'before_log', "
+                f"got {self.phase!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -213,7 +261,22 @@ class FaultyPageStore(PageStore):
         return self.inner.allocated_pages
 
     def register_pool(self, pool) -> None:
+        # Must delegate: the wrapper owns no page dict, so a pool kept in a
+        # shadow `_pools` list here would never see free-time invalidation
+        # (the regression tests/storage/test_faults.py guards this).
         self.inner.register_pool(pool)
+
+    @property
+    def next_page_id(self) -> int:
+        return self.inner.next_page_id
+
+    def install(self, page_id, payload, size_bytes, lsn=None) -> None:
+        self.inner.install(page_id, payload, size_bytes, lsn)
+
+    def discard(self, page_id: int) -> None:
+        self.inner.discard(page_id)
+        self._pending_transient.pop(page_id, None)
+        self._flipped.discard(page_id)
 
     def raw_fetch(self, page_id: int) -> Page:
         """Fault-free fetch (accounting replay / build internals)."""

@@ -149,12 +149,18 @@ class Page:
     ``checksum`` is the CRC32 of the payload bytes at the last write
     (:func:`page_checksum`), or ``None`` for pages built outside a
     :class:`PageStore` (checksum verification then skips the page).
+
+    ``lsn`` is the log sequence number of the last write-ahead-log record
+    that wrote this page (see :mod:`repro.storage.wal`), or ``None`` for
+    pages written outside WAL protection.  Recovery's redo pass compares it
+    against each log record's LSN so replaying a record twice is a no-op.
     """
 
     page_id: int
     payload: Any
     size_bytes: int
     checksum: Optional[int] = field(default=None, compare=False)
+    lsn: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size_bytes > PAGE_SIZE:
@@ -194,6 +200,15 @@ class PageStore:
         """Attach a buffer pool for free-time invalidation callbacks."""
         if pool not in self._pools:
             self._pools.append(pool)
+
+    @property
+    def next_page_id(self) -> int:
+        """The id :meth:`allocate` will assign next.
+
+        The write-ahead log needs it to frame a page-allocation record
+        *before* the allocation lands (log-before-write ordering).
+        """
+        return self._next_id
 
     def allocate(self, payload: Any, size_bytes: int) -> int:
         """Store a payload on a fresh page and return its id."""
@@ -255,6 +270,36 @@ class PageStore:
         del self._pages[page_id]
         for pool in self._pools:
             pool.invalidate(page_id)
+
+    # -- recovery support ------------------------------------------------
+
+    def install(
+        self,
+        page_id: int,
+        payload: Any,
+        size_bytes: int,
+        lsn: Optional[int] = None,
+    ) -> None:
+        """Place a page image at a *specific* id (recovery's redo path).
+
+        Unlike :meth:`allocate`/:meth:`overwrite`, the caller dictates the
+        page id: redo must reproduce exactly the ids the crashed run
+        assigned, whether or not the page survived into the checkpoint.
+        The id counter advances past the installed id, the checksum is
+        restamped, and any registered buffer pool drops its stale copy.
+        """
+        self._pages[page_id] = Page(
+            page_id, payload, size_bytes, page_checksum(payload), lsn
+        )
+        self._next_id = max(self._next_id, page_id + 1)
+        self.counters.count_page_write()
+        for pool in self._pools:
+            pool.invalidate(page_id)
+
+    def discard(self, page_id: int) -> None:
+        """Idempotent :meth:`free` (redo of a logged free record)."""
+        if page_id in self._pages:
+            self.free(page_id)
 
     @property
     def allocated_pages(self) -> int:

@@ -1,0 +1,177 @@
+"""Structural validator + delete, and the randomized mutation stress test."""
+
+import numpy as np
+import pytest
+
+from repro.btree.node import INTERNAL_CAPACITY, LEAF_CAPACITY
+from repro.btree.tree import BPlusTree, BTreeInvariantError
+from repro.storage.buffer import BufferPool
+from repro.storage.metrics import CostCounters
+from repro.storage.pager import PageStore
+
+
+def make_tree(leaf_capacity=LEAF_CAPACITY,
+              internal_capacity=INTERNAL_CAPACITY, pool_pages=256):
+    counters = CostCounters()
+    store = PageStore(counters)
+    pool = BufferPool(store, pool_pages, counters)
+    return BPlusTree(store, pool, leaf_capacity, internal_capacity)
+
+
+def entries_of(tree):
+    return [(k, r) for k, r in tree.items()]
+
+
+class TestCheckInvariants:
+    def test_empty_tree_passes(self):
+        tree = make_tree()
+        report = tree.check_invariants()
+        assert report["entries"] == 0
+
+    def test_bulk_loaded_tree_passes(self):
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        keys = sorted(np.random.default_rng(1).normal(size=500).tolist())
+        tree.bulk_load(keys, list(range(500)))
+        report = tree.check_invariants()
+        assert report["entries"] == 500
+        assert report["leaves"] >= 500 // 8
+        assert report["depth"] == tree.height
+
+    def test_detects_unordered_leaf(self):
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load([float(i) for i in range(40)], list(range(40)))
+        leaf_page = tree.leaf_page_ids()[1]
+        leaf = tree.store.raw_fetch(leaf_page).payload
+        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        with pytest.raises(BTreeInvariantError):
+            tree.check_invariants()
+
+    def test_detects_broken_leaf_chain(self):
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load([float(i) for i in range(40)], list(range(40)))
+        leaf_page = tree.leaf_page_ids()[0]
+        tree.store.raw_fetch(leaf_page).payload.next_page = None
+        with pytest.raises(BTreeInvariantError):
+            tree.check_invariants()
+
+    def test_detects_wrong_entry_count(self):
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load([float(i) for i in range(40)], list(range(40)))
+        tree.n_entries += 1
+        with pytest.raises(BTreeInvariantError, match="n_entries"):
+            tree.check_invariants()
+
+    def test_uses_no_accounted_io(self):
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        tree.bulk_load([float(i) for i in range(100)], list(range(100)))
+        before = tree.counters.snapshot()
+        tree.check_invariants()
+        diff = tree.counters.snapshot() - before
+        assert diff.total_page_reads == 0
+
+
+class TestDelete:
+    def test_delete_removes_single_entry(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        tree.bulk_load([1.0, 2.0, 3.0], [10, 20, 30])
+        tree.delete(2.0, 20)
+        assert entries_of(tree) == [(1.0, 10), (3.0, 30)]
+        assert len(tree) == 2
+        tree.check_invariants()
+
+    def test_delete_missing_key_raises(self):
+        tree = make_tree()
+        tree.bulk_load([1.0], [10])
+        with pytest.raises(KeyError):
+            tree.delete(2.0, 10)
+        with pytest.raises(KeyError):
+            tree.delete(1.0, 99)  # right key, wrong rid
+
+    def test_delete_from_empty_tree_raises(self):
+        tree = make_tree()
+        with pytest.raises(KeyError):
+            tree.delete(1.0, 1)
+
+    def test_delete_picks_matching_rid_among_duplicates(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        tree.bulk_load([5.0] * 6, [0, 1, 2, 3, 4, 5])
+        tree.delete(5.0, 3)
+        assert sorted(r for _, r in entries_of(tree)) == [0, 1, 2, 4, 5]
+        tree.check_invariants()
+
+    def test_delete_across_leaf_boundary_duplicates(self):
+        # duplicates spanning several leaves: the scan must follow the
+        # leaf chain past full leaves of equal keys
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        tree.bulk_load([7.0] * 12, list(range(12)))
+        tree.delete(7.0, 11)
+        assert sorted(r for _, r in entries_of(tree)) == list(range(11))
+        tree.check_invariants()
+
+    def test_delete_may_leave_empty_leaf(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        tree.bulk_load([float(i) for i in range(8)], list(range(8)))
+        for i in range(4):
+            tree.delete(float(i), i)
+        # no rebalancing: structure stays valid, scans skip the empty leaf
+        tree.check_invariants()
+        assert [k for k, _ in entries_of(tree)] == [4.0, 5.0, 6.0, 7.0]
+        assert list(tree.range(0.0, 10.0)) == [
+            (4.0, 4), (5.0, 5), (6.0, 6), (7.0, 7)
+        ]
+
+    def test_search_after_delete(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        keys = [float(i) for i in range(30)]
+        tree.bulk_load(keys, list(range(30)))
+        tree.delete(13.0, 13)
+        assert tree.search(13.0) == []
+        assert tree.search(14.0) == [14]
+
+
+class TestRandomizedStress:
+    """Satellite: randomized insert/delete batches, invariants after each."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_batches_keep_structure_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        n0 = 64
+        keys = np.sort(rng.uniform(0, 100, n0))
+        tree.bulk_load(keys.tolist(), list(range(n0)))
+        shadow = {(float(k), r) for k, r in zip(keys, range(n0))}
+        next_rid = n0
+
+        for _ in range(12):
+            # insert batch (duplicates included on purpose)
+            for _ in range(int(rng.integers(1, 12))):
+                key = float(rng.uniform(0, 100))
+                if shadow and rng.random() < 0.3:
+                    key = next(iter(shadow))[0]  # force a duplicate key
+                tree.insert(key, next_rid)
+                shadow.add((key, next_rid))
+                next_rid += 1
+            # delete batch
+            for _ in range(int(rng.integers(1, 10))):
+                if not shadow:
+                    break
+                victim = sorted(shadow)[int(rng.integers(len(shadow)))]
+                tree.delete(*victim)
+                shadow.remove(victim)
+            report = tree.check_invariants()
+            assert report["entries"] == len(shadow)
+            assert sorted(entries_of(tree)) == sorted(shadow)
+
+    def test_delete_everything_then_reinsert(self):
+        rng = np.random.default_rng(9)
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        keys = np.sort(rng.uniform(0, 10, 40))
+        tree.bulk_load(keys.tolist(), list(range(40)))
+        for rid, key in enumerate(keys.tolist()):
+            tree.delete(key, rid)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert entries_of(tree) == []
+        tree.insert(5.0, 1000)
+        tree.check_invariants()
+        assert tree.search(5.0) == [1000]

@@ -1,0 +1,197 @@
+"""The durability contract, proven by exhaustive crashpoint sweeps.
+
+For every physical page write the update workload issues, crash exactly
+there (before and after the WAL record hits the log), recover from
+checkpoint + log, and demand (a) valid B+-tree structure and (b) KNN
+answers bit-identical to a freshly built index over the committed prefix
+of the workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_correlated_clusters
+from repro.index.global_ldr import GlobalLDRIndex
+from repro.index.idistance import ExtendedIDistance
+from repro.index.seqscan import SequentialScan
+from repro.recovery import (
+    checkpoint,
+    count_update_writes,
+    crash_sweep,
+    make_update_workload,
+    recover,
+    run_crashpoint,
+)
+from repro.recovery.harness import apply_op
+from repro.reduction.mmdr_adapter import MMDRReducer
+from repro.storage.wal import WriteAheadLog
+
+SCHEMES = [ExtendedIDistance, SequentialScan, GlobalLDRIndex]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    """Small correlated dataset + reduction, sized so a full sweep of
+    every crashpoint stays fast."""
+    spec = SyntheticSpec(
+        n_points=600,
+        dimensionality=8,
+        n_clusters=2,
+        retained_dims=3,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    ds = generate_correlated_clusters(spec, np.random.default_rng(7))
+    reduced = MMDRReducer().reduce(ds.points, np.random.default_rng(7))
+    ops = make_update_workload(
+        ds.points, reduced.n_points, np.random.default_rng(11)
+    )
+    return ds, reduced, ops
+
+
+def fail_summary(outcomes):
+    bad = [o for o in outcomes if not o.ok]
+    return "; ".join(
+        f"{o.crashpoint.phase}@{o.crashpoint.at_write}: {o.error}"
+        for o in bad
+    )
+
+
+@pytest.mark.crash_smoke
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_every_crashpoint_recovers_to_committed_prefix(
+    scheme, setting, tmp_path
+):
+    ds, reduced, ops = setting
+    outcomes = crash_sweep(
+        lambda: scheme(reduced),
+        ops,
+        tmp_path,
+        ds.points[:4],
+        k=5,
+        phases=("after_log", "before_log"),
+    )
+    assert outcomes, "workload issued no physical writes to sweep"
+    assert all(o.ok for o in outcomes), fail_summary(outcomes)
+    assert all(o.crashed for o in outcomes)
+    # every distinct commit horizon between "nothing" and "all but the
+    # last op" must appear somewhere in the sweep's outcomes
+    horizons = {o.committed_ops for o in outcomes}
+    assert min(horizons) < len(ops)
+
+
+def test_uncrashed_control_replays_every_op(setting, tmp_path):
+    ds, reduced, ops = setting
+    outcome = run_crashpoint(
+        lambda: ExtendedIDistance(reduced),
+        ops,
+        tmp_path,
+        None,
+        ds.points[:4],
+        k=5,
+    )
+    assert outcome.ok, outcome.error
+    assert not outcome.crashed
+    assert outcome.committed_ops == len(ops)
+
+
+def test_extended_idistance_sweep_covers_tree_and_delta_writes(
+    setting, tmp_path
+):
+    """The tree-backed scheme must produce a multi-write sweep (tree page
+    writes + delta page allocations), or the sweep proves nothing."""
+    _, reduced, ops = setting
+    total = count_update_writes(
+        lambda: ExtendedIDistance(reduced), ops, tmp_path
+    )
+    assert total >= 5
+
+
+def test_checkpoint_bounds_recovery_work(setting, tmp_path):
+    """Ops committed before a mid-workload checkpoint are served from the
+    snapshot, not replayed from the log."""
+    ds, reduced, ops = setting
+    index = ExtendedIDistance(reduced)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    index.enable_wal(wal)
+    checkpoint(index, tmp_path / "ckpt0")
+    half = len(ops) // 2
+    for op in ops[:half]:
+        apply_op(index, op)
+    checkpoint(index, tmp_path / "ckpt1")
+    for op in ops[half:]:
+        apply_op(index, op)
+    wal.close()
+
+    recovered, report = recover(tmp_path / "wal.log")
+    assert report.snapshot_path == str(tmp_path / "ckpt1")
+    assert report.committed_txns == len(ops) - half
+    reference = ExtendedIDistance(reduced)
+    for op in ops:
+        apply_op(reference, op)
+    for query in ds.points[:4]:
+        got, want = recovered.knn(query, 5), reference.knn(query, 5)
+        assert np.array_equal(got.ids, want.ids)
+        assert np.array_equal(got.distances, want.distances)
+
+
+def test_torn_log_tail_drops_only_the_unfinished_commit(setting, tmp_path):
+    """Tearing bytes off the log (a crash mid-append) loses at most the
+    transaction whose COMMIT was in flight; everything durable replays."""
+    ds, reduced, ops = setting
+    index = ExtendedIDistance(reduced)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    index.enable_wal(wal)
+    checkpoint(index, tmp_path / "ckpt")
+    for op in ops:
+        apply_op(index, op)
+    wal.close()
+
+    log_path = tmp_path / "wal.log"
+    data = log_path.read_bytes()
+    log_path.write_bytes(data[:-9])  # tear the final COMMIT record
+
+    recovered, report = recover(log_path)
+    assert report.torn_tail_bytes > 0
+    assert report.metas_applied == len(ops) - 1
+    assert report.discarded_txns == 1
+    recovered.tree.check_invariants()
+    reference = ExtendedIDistance(reduced)
+    for op in ops[: report.metas_applied]:
+        apply_op(reference, op)
+    for query in ds.points[:4]:
+        got, want = recovered.knn(query, 5), reference.knn(query, 5)
+        assert np.array_equal(got.ids, want.ids)
+        assert np.array_equal(got.distances, want.distances)
+
+
+def test_recovered_index_resumes_logging(setting, tmp_path):
+    """recover() hands back a WAL-detached index; re-enabling the log and
+    mutating further must itself stay recoverable."""
+    ds, reduced, ops = setting
+    index = ExtendedIDistance(reduced)
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    index.enable_wal(wal)
+    checkpoint(index, tmp_path / "ckpt")
+    for op in ops[:3]:
+        apply_op(index, op)
+    wal.close()
+
+    recovered, _ = recover(tmp_path / "wal.log")
+    wal2 = WriteAheadLog(tmp_path / "wal.log")
+    recovered.enable_wal(wal2)
+    checkpoint(recovered, tmp_path / "ckpt2")
+    for op in ops[3:6]:
+        apply_op(recovered, op)
+    wal2.close()
+
+    final, report = recover(tmp_path / "wal.log")
+    assert report.snapshot_path == str(tmp_path / "ckpt2")
+    reference = ExtendedIDistance(reduced)
+    for op in ops[:6]:
+        apply_op(reference, op)
+    for query in ds.points[:4]:
+        got, want = final.knn(query, 5), reference.knn(query, 5)
+        assert np.array_equal(got.ids, want.ids)
+        assert np.array_equal(got.distances, want.distances)

@@ -241,3 +241,38 @@ class TestRetryPolicy:
 
     def test_zero_backoff_does_not_sleep(self):
         RetryPolicy(backoff_s=0.0).sleep(3)  # returns immediately
+
+
+class TestWrapperPoolForwarding:
+    """Regression: a store wrapper must forward ``register_pool`` to the
+    inner store (which owns the ``_pools`` list consulted at free time).
+    A wrapper that shadowed the registration would leave stale pages
+    cached in pools after ``free``."""
+
+    def test_register_pool_reaches_inner_store(self):
+        store, _ = make_store()
+        faulty = FaultyPageStore(store, FaultPlan(seed=1))
+        pool = BufferPool(faulty, 4)  # __init__ registers via the wrapper
+        assert pool in store._pools
+
+    def test_free_through_wrapper_invalidates_pool(self):
+        store, ids = make_store()
+        faulty = FaultyPageStore(store, FaultPlan(seed=1))
+        pool = BufferPool(faulty, 4)
+        pool.read(ids[0])
+        assert ids[0] in pool
+        faulty.free(ids[0])
+        assert ids[0] not in pool
+        with pytest.raises(PageNotFoundError):
+            pool.read(ids[0])
+
+    def test_pool_registered_before_wrapping_still_invalidated(self):
+        # enable_faults() wraps a live index whose pool registered with
+        # the bare store; frees through the wrapper must still reach it.
+        store, ids = make_store()
+        pool = BufferPool(store, 4)
+        faulty = FaultyPageStore(store, FaultPlan(seed=1))
+        pool.store = faulty
+        pool.read(ids[1])
+        faulty.free(ids[1])
+        assert ids[1] not in pool
