@@ -1,0 +1,165 @@
+"""``python -m repro.bench`` — run, compare, and re-baseline benchmarks.
+
+Subcommands:
+
+* ``run [names...]`` — run workloads from the default registry and write
+  their reports (plus ``repro.obs`` JSONL traces) under ``--out``.
+* ``compare [names...]`` — the regression gate.  For every committed
+  baseline, re-run *the workload the baseline itself encodes* (its
+  embedded spec, not the current registry — so a spec edit shows up as
+  gated drift instead of silently moving the goalposts), diff under the
+  tolerance rules, print the regression table, and exit nonzero on any
+  gating drift.  Current reports, traces, and the table are written under
+  ``--out`` for CI artifact upload.
+* ``update [names...]`` — regenerate the baselines from the registry.
+  Legitimate only for a deliberate perf/answer change, with the baseline
+  diff reviewed in the PR (see EXPERIMENTS.md, "Regression gate").
+
+Exit codes: 0 success, 1 gating drift, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..obs.export import write_jsonl
+from ..obs.tracer import Tracer
+from .compare import Comparison, compare_reports, format_table
+from .report import BenchReport, BenchReportError
+from .runner import FingerprintMismatch, run_bench
+from .spec import WorkloadSpec
+from .specs import DEFAULT_SPECS
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+DEFAULT_OUT_DIR = Path("benchmarks") / "out"
+
+
+def _select_specs(names: List[str]) -> List[WorkloadSpec]:
+    if not names:
+        return list(DEFAULT_SPECS.values())
+    unknown = sorted(set(names) - set(DEFAULT_SPECS))
+    if unknown:
+        raise SystemExit(
+            f"error: unknown workload(s) {unknown}; "
+            f"known: {sorted(DEFAULT_SPECS)}"
+        )
+    return [DEFAULT_SPECS[name] for name in names]
+
+
+def _run_one(spec: WorkloadSpec, out_dir: Path) -> BenchReport:
+    tracer = Tracer()
+    report = run_bench(spec, tracer=tracer)
+    report.write(out_dir / f"{spec.name}.json")
+    write_jsonl(out_dir / f"{spec.name}.trace.jsonl", tracer)
+    return report
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for spec in _select_specs(args.names):
+        report = _run_one(spec, out_dir)
+        print(f"{report.name}: report -> {out_dir / (report.name + '.json')}")
+        for mode, fp in sorted(report.fingerprints.items()):
+            print(f"  {mode:<12} {fp}")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    baseline_dir = Path(args.baselines)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for spec in _select_specs(args.names):
+        report = run_bench(spec)
+        path = report.write(baseline_dir / f"{spec.name}.json")
+        print(f"{report.name}: baseline updated -> {path}")
+    print(
+        "\nReview the baseline diff in your PR: a counter or fingerprint "
+        "change must be explainable by the code change."
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline_dir = Path(args.baselines)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = sorted(baseline_dir.glob("*.json"))
+    if args.names:
+        wanted = set(args.names)
+        paths = [p for p in paths if p.stem in wanted]
+        missing = sorted(wanted - {p.stem for p in paths})
+        if missing:
+            print(
+                f"error: no baseline for workload(s) {missing} "
+                f"under {baseline_dir}",
+                file=sys.stderr,
+            )
+            return 2
+    if not paths:
+        print(
+            f"error: no baselines found under {baseline_dir}; run "
+            "`python -m repro.bench update` first",
+            file=sys.stderr,
+        )
+        return 2
+    comparisons: List[Comparison] = []
+    for path in paths:
+        try:
+            baseline = BenchReport.load(path)
+            spec = WorkloadSpec.from_dict(baseline.spec)
+        except (BenchReportError, ValueError) as exc:
+            print(f"error: unusable baseline {path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            current = _run_one(spec, out_dir)
+        except FingerprintMismatch as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        comparisons.append(compare_reports(baseline, current))
+    table = format_table(comparisons)
+    (out_dir / "regression_table.txt").write_text(table + "\n")
+    print(table)
+    return 0 if all(c.ok for c in comparisons) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "machine-independent perf-regression and answer-fingerprint "
+            "gate"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run workloads, write reports")
+    run_p.add_argument("names", nargs="*", help="workload names (default all)")
+    run_p.add_argument("--out", default=str(DEFAULT_OUT_DIR))
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser(
+        "compare", help="re-run committed baselines and gate on drift"
+    )
+    cmp_p.add_argument("names", nargs="*", help="workload names (default all)")
+    cmp_p.add_argument("--baselines", default=str(DEFAULT_BASELINE_DIR))
+    cmp_p.add_argument("--out", default=str(DEFAULT_OUT_DIR))
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    upd_p = sub.add_parser(
+        "update", help="regenerate golden baselines (review the diff!)"
+    )
+    upd_p.add_argument("names", nargs="*", help="workload names (default all)")
+    upd_p.add_argument("--baselines", default=str(DEFAULT_BASELINE_DIR))
+    upd_p.set_defaults(fn=_cmd_update)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

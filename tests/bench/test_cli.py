@@ -1,0 +1,178 @@
+"""The ``python -m repro.bench`` gate: exit codes and artifacts."""
+
+import json
+
+import pytest
+
+from repro.bench import WorkloadSpec
+from repro.bench import cli
+
+
+@pytest.fixture(autouse=True)
+def tiny_registry(monkeypatch):
+    """Swap the default workload registry for one tiny spec so CLI tests
+    run in well under a second."""
+    spec = WorkloadSpec(
+        name="tiny",
+        n_points=500,
+        dimensionality=8,
+        n_clusters=2,
+        retained_dims=3,
+        n_queries=5,
+        k=4,
+        n_inserts=3,
+        n_deletes=2,
+    )
+    monkeypatch.setattr(cli, "DEFAULT_SPECS", {"tiny": spec})
+    return spec
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return {
+        "baselines": str(tmp_path / "baselines"),
+        "out": str(tmp_path / "out"),
+    }
+
+
+def run_cli(*argv):
+    return cli.main(list(argv))
+
+
+class TestUpdateAndCompare:
+    def test_update_then_compare_passes(self, dirs, tmp_path):
+        assert run_cli("update", "--baselines", dirs["baselines"]) == 0
+        assert (tmp_path / "baselines" / "tiny.json").exists()
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 0
+        )
+        # CI artifacts: current report, obs trace, regression table.
+        assert (tmp_path / "out" / "tiny.json").exists()
+        assert (tmp_path / "out" / "tiny.trace.jsonl").exists()
+        table = (tmp_path / "out" / "regression_table.txt").read_text()
+        assert "OK: no gating drift" in table
+
+    def test_perturbed_counter_fails_gate(self, dirs, tmp_path):
+        run_cli("update", "--baselines", dirs["baselines"])
+        path = tmp_path / "baselines" / "tiny.json"
+        data = json.loads(path.read_text())
+        data["counters"]["page_reads_cold"] += 1
+        path.write_text(json.dumps(data))
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 1
+        )
+        table = (tmp_path / "out" / "regression_table.txt").read_text()
+        assert "DRIFT" in table
+
+    def test_perturbed_fingerprint_fails_gate(self, dirs, tmp_path):
+        run_cli("update", "--baselines", dirs["baselines"])
+        path = tmp_path / "baselines" / "tiny.json"
+        data = json.loads(path.read_text())
+        data["fingerprints"]["sequential"] = "sha256:deadbeef"
+        path.write_text(json.dumps(data))
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 1
+        )
+
+    def test_compare_reruns_the_baselines_spec_not_the_registry(
+        self, dirs, tmp_path, monkeypatch
+    ):
+        """A registry edit must not silently move the goalposts: compare
+        replays the spec embedded in the baseline, so only the baseline
+        file (reviewed in a PR diff) defines the gate."""
+        run_cli("update", "--baselines", dirs["baselines"])
+        drifted = WorkloadSpec(
+            name="tiny",
+            n_points=450,  # different workload under the same name
+            dimensionality=8,
+            n_clusters=2,
+            retained_dims=3,
+            n_queries=5,
+            k=4,
+        )
+        monkeypatch.setattr(cli, "DEFAULT_SPECS", {"tiny": drifted})
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 0
+        )
+
+
+class TestErrorHandling:
+    def test_compare_without_baselines_is_usage_error(self, dirs):
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 2
+        )
+
+    def test_compare_unknown_name_is_usage_error(self, dirs):
+        run_cli("update", "--baselines", dirs["baselines"])
+        assert (
+            run_cli(
+                "compare", "nope",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 2
+        )
+
+    def test_corrupt_baseline_is_usage_error(self, dirs, tmp_path):
+        run_cli("update", "--baselines", dirs["baselines"])
+        (tmp_path / "baselines" / "tiny.json").write_text("{broken")
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 2
+        )
+
+    def test_schema_version_mismatch_is_usage_error(self, dirs, tmp_path):
+        run_cli("update", "--baselines", dirs["baselines"])
+        path = tmp_path / "baselines" / "tiny.json"
+        data = json.loads(path.read_text())
+        data["schema_version"] = 999
+        path.write_text(json.dumps(data))
+        assert (
+            run_cli(
+                "compare",
+                "--baselines", dirs["baselines"],
+                "--out", dirs["out"],
+            )
+            == 2
+        )
+
+    def test_run_unknown_name_exits(self, dirs):
+        with pytest.raises(SystemExit):
+            run_cli("run", "bogus", "--out", dirs["out"])
+
+
+class TestRun:
+    def test_run_writes_report_and_trace(self, dirs, tmp_path):
+        assert run_cli("run", "--out", dirs["out"]) == 0
+        report = json.loads((tmp_path / "out" / "tiny.json").read_text())
+        assert report["schema_version"] == 1
+        assert (tmp_path / "out" / "tiny.trace.jsonl").exists()

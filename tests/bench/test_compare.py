@@ -1,0 +1,163 @@
+"""Comparator gate rules: exactness, tolerance bands, advisory immunity."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    Comparison,
+    MetricDelta,
+    ToleranceBand,
+    compare_reports,
+    format_table,
+)
+
+
+def make_report(**overrides):
+    base = dict(
+        name="unit",
+        spec={"scheme": "iMMDR", "n_points": 100},
+        counters={"page_reads_cold": 100, "buffer_hit_rate_warm": 0.9},
+        advisory={"qps_sequential": 1000.0},
+        fingerprints={"sequential": "sha256:aa", "batch": "sha256:aa"},
+    )
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+class TestGate:
+    def test_identical_reports_pass(self):
+        comparison = compare_reports(make_report(), make_report())
+        assert comparison.ok
+        assert not comparison.regressions
+
+    def test_counter_drift_gates(self):
+        current = make_report(
+            counters={"page_reads_cold": 101, "buffer_hit_rate_warm": 0.9}
+        )
+        comparison = compare_reports(make_report(), current)
+        assert not comparison.ok
+        (row,) = comparison.regressions
+        assert (row.section, row.name, row.status) == (
+            "counter", "page_reads_cold", "drift",
+        )
+
+    def test_fingerprint_drift_gates(self):
+        current = make_report(
+            fingerprints={"sequential": "sha256:bb", "batch": "sha256:aa"}
+        )
+        comparison = compare_reports(make_report(), current)
+        assert [r.name for r in comparison.regressions] == ["sequential"]
+
+    def test_advisory_drift_never_gates(self):
+        current = make_report(advisory={"qps_sequential": 1.0})
+        comparison = compare_reports(make_report(), current)
+        assert comparison.ok
+        assert any(
+            r.section == "advisory" and r.status == "info"
+            for r in comparison.rows
+        )
+
+    def test_missing_counter_gates(self):
+        current = make_report(counters={"page_reads_cold": 100})
+        comparison = compare_reports(make_report(), current)
+        assert [r.status for r in comparison.regressions] == ["missing"]
+
+    def test_new_counter_gates(self):
+        current = make_report(
+            counters={
+                "page_reads_cold": 100,
+                "buffer_hit_rate_warm": 0.9,
+                "shiny_new": 1,
+            }
+        )
+        comparison = compare_reports(make_report(), current)
+        assert [r.status for r in comparison.regressions] == ["new"]
+
+    def test_spec_change_gates(self):
+        current = make_report(spec={"scheme": "iMMDR", "n_points": 200})
+        comparison = compare_reports(make_report(), current)
+        assert any(
+            r.section == "spec" and r.name == "n_points"
+            for r in comparison.regressions
+        )
+
+    def test_missing_advisory_is_informational(self):
+        current = make_report(advisory={})
+        assert compare_reports(make_report(), current).ok
+
+
+class TestToleranceBands:
+    def test_within_band_passes(self):
+        current = make_report(
+            counters={"page_reads_cold": 103, "buffer_hit_rate_warm": 0.9}
+        )
+        comparison = compare_reports(
+            make_report(), current,
+            tolerances={"page_reads_cold": ToleranceBand(rel_slack=0.05)},
+        )
+        assert comparison.ok
+
+    def test_outside_band_gates(self):
+        current = make_report(
+            counters={"page_reads_cold": 110, "buffer_hit_rate_warm": 0.9}
+        )
+        comparison = compare_reports(
+            make_report(), current,
+            tolerances={"page_reads_cold": ToleranceBand(rel_slack=0.05)},
+        )
+        assert not comparison.ok
+
+    def test_abs_slack(self):
+        band = ToleranceBand(abs_slack=2.0)
+        assert band.allows(10, 12)
+        assert not band.allows(10, 13)
+
+    def test_default_band_absorbs_hit_rate_rounding(self):
+        current = make_report(
+            counters={
+                "page_reads_cold": 100,
+                "buffer_hit_rate_warm": 0.9 + 5e-7,
+            }
+        )
+        assert compare_reports(make_report(), current).ok
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            ToleranceBand(rel_slack=-0.1)
+
+
+class TestTable:
+    def test_table_lists_every_metric_and_verdict(self):
+        baseline = make_report()
+        current = make_report(
+            counters={"page_reads_cold": 999, "buffer_hit_rate_warm": 0.9}
+        )
+        table = format_table([compare_reports(baseline, current)])
+        assert "page_reads_cold" in table
+        assert "DRIFT" in table and "unit" in table
+        assert "qps_sequential" in table  # advisory rows shown
+
+    def test_ok_verdict(self):
+        table = format_table(
+            [compare_reports(make_report(), make_report())]
+        )
+        assert "OK: no gating drift" in table
+
+    def test_long_fingerprints_are_elided(self):
+        fp = "sha256:" + "a" * 64
+        comparison = Comparison(
+            name="x",
+            rows=[MetricDelta("fingerprint", "sequential", fp, fp, "ok")],
+        )
+        table = format_table([comparison])
+        assert "…" in table
+        assert fp not in table
+
+    def test_gating_property(self):
+        row = dataclasses.replace(
+            MetricDelta("counter", "m", 1, 2, "drift")
+        )
+        assert row.gating
+        assert not MetricDelta("advisory", "m", 1, 2, "info").gating

@@ -1,0 +1,107 @@
+"""Result-fingerprint semantics: stability, order, quantization."""
+
+import numpy as np
+import pytest
+
+from repro.bench import result_fingerprint
+
+
+@pytest.fixture
+def answers():
+    rng = np.random.default_rng(9)
+    ids = rng.integers(0, 1000, size=(8, 10)).astype(np.int64)
+    dists = np.sort(rng.random((8, 10)), axis=1)
+    return ids, dists
+
+
+class TestStability:
+    def test_deterministic(self, answers):
+        ids, dists = answers
+        assert result_fingerprint(ids, dists) == result_fingerprint(
+            ids.copy(), dists.copy()
+        )
+
+    def test_independent_of_input_dtype_and_layout(self, answers):
+        ids, dists = answers
+        fp = result_fingerprint(ids, dists)
+        assert result_fingerprint(ids.astype(np.int32), dists) == fp
+        assert (
+            result_fingerprint(
+                np.asfortranarray(ids), np.asfortranarray(dists)
+            )
+            == fp
+        )
+
+    def test_has_stable_prefix(self, answers):
+        assert result_fingerprint(*answers).startswith("sha256:")
+
+
+class TestSensitivity:
+    def test_id_change_changes_hash(self, answers):
+        ids, dists = answers
+        other = ids.copy()
+        other[3, 7] += 1
+        assert result_fingerprint(other, dists) != result_fingerprint(
+            ids, dists
+        )
+
+    def test_row_order_changes_hash(self, answers):
+        ids, dists = answers
+        assert result_fingerprint(ids[::-1], dists[::-1]) != (
+            result_fingerprint(ids, dists)
+        )
+
+    def test_shape_is_covered(self, answers):
+        ids, dists = answers
+        flat = result_fingerprint(ids.ravel(), dists.ravel())
+        assert flat != result_fingerprint(ids, dists)
+
+    def test_distance_drift_beyond_quantum_changes_hash(self, answers):
+        ids, dists = answers
+        moved = dists.copy()
+        moved[0, 0] += 1e-6
+        assert result_fingerprint(ids, moved) != result_fingerprint(
+            ids, dists
+        )
+
+
+class TestQuantization:
+    def test_sub_quantum_jitter_is_invisible(self, answers):
+        ids, dists = answers
+        jittered = dists + 1e-13  # well below the 1e-9 default quantum
+        assert result_fingerprint(ids, jittered) == result_fingerprint(
+            ids, dists
+        )
+
+    def test_custom_quantum(self):
+        ids = np.arange(4, dtype=np.int64)
+        dists = np.array([0.1, 0.9, 2.1, 3.4])  # bucket centers for q=0.5
+        coarse = result_fingerprint(ids, dists, quantum=0.5)
+        # +0.01 stays inside each value's 0.5-wide bucket...
+        assert coarse == result_fingerprint(ids, dists + 0.01, quantum=0.5)
+        # ...but +0.3 crosses a bucket edge and must change the hash.
+        assert coarse != result_fingerprint(ids, dists + 0.3, quantum=0.5)
+
+    def test_nan_rows_fingerprint_deterministically(self, answers):
+        ids, dists = answers
+        bad = dists.copy()
+        bad[2] = np.nan
+        ids_bad = ids.copy()
+        ids_bad[2] = -1
+        assert result_fingerprint(ids_bad, bad) == result_fingerprint(
+            ids_bad, bad.copy()
+        )
+        assert result_fingerprint(ids_bad, bad) != result_fingerprint(
+            ids, dists
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, answers):
+        ids, dists = answers
+        with pytest.raises(ValueError, match="shape"):
+            result_fingerprint(ids[:, :5], dists)
+
+    def test_bad_quantum_rejected(self, answers):
+        with pytest.raises(ValueError, match="quantum"):
+            result_fingerprint(*answers, quantum=0.0)

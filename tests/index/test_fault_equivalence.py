@@ -20,6 +20,10 @@ from repro.reduction.mmdr_adapter import model_to_reduced
 from repro.storage.faults import FaultPlan
 from repro.storage.pager import PageCorruptionError
 
+# The CI fault-smoke gate: transient faults must not change results and
+# corruption must surface as typed errors (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.fault_smoke
+
 
 @pytest.fixture(scope="module")
 def reduced(two_cluster_dataset):

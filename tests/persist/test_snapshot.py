@@ -94,6 +94,10 @@ class TestRoundTrip:
 
 
 class TestCorruptionDetection:
+    # Part of the CI fault-smoke gate: corruption must be *typed*, never
+    # silently wrong data (see .github/workflows/ci.yml).
+    pytestmark = pytest.mark.fault_smoke
+
     @pytest.fixture()
     def snapshot(self, reduced, tmp_path):
         _, red = reduced
