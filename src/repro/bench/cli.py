@@ -51,8 +51,16 @@ def _select_specs(names: List[str]) -> List[WorkloadSpec]:
     return [DEFAULT_SPECS[name] for name in names]
 
 
-def _run_one(spec: WorkloadSpec, out_dir: Path) -> BenchReport:
-    tracer = Tracer()
+def _run_one(
+    spec: WorkloadSpec, out_dir: Path, tracer: Optional[Tracer] = None
+) -> BenchReport:
+    # One tracer can serve many specs: clear() between runs drops the
+    # previous spec's spans/metrics and mints a fresh trace id, so each
+    # written trace file stands alone.
+    if tracer is None:
+        tracer = Tracer()
+    else:
+        tracer.clear()
     report = run_bench(spec, tracer=tracer)
     report.write(out_dir / f"{spec.name}.json")
     write_jsonl(out_dir / f"{spec.name}.trace.jsonl", tracer)
@@ -62,11 +70,15 @@ def _run_one(spec: WorkloadSpec, out_dir: Path) -> BenchReport:
 def _cmd_run(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    tracer = Tracer()
     for spec in _select_specs(args.names):
-        report = _run_one(spec, out_dir)
+        report = _run_one(spec, out_dir, tracer=tracer)
         print(f"{report.name}: report -> {out_dir / (report.name + '.json')}")
         for mode, fp in sorted(report.fingerprints.items()):
             print(f"  {mode:<12} {fp}")
+        if report.health and not report.health.get("ok", True):
+            for warning in report.health.get("warnings", []):
+                print(f"  health warning: {warning}")
     return 0
 
 
@@ -108,6 +120,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         return 2
     comparisons: List[Comparison] = []
+    tracer = Tracer()
     for path in paths:
         try:
             baseline = BenchReport.load(path)
@@ -116,7 +129,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"error: unusable baseline {path}: {exc}", file=sys.stderr)
             return 2
         try:
-            current = _run_one(spec, out_dir)
+            current = _run_one(spec, out_dir, tracer=tracer)
         except FingerprintMismatch as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

@@ -13,6 +13,11 @@ metric sections have different contracts:
   **never gating** — they depend on the host.
 * ``fingerprints`` — result fingerprints per execution mode (see
   :mod:`repro.bench.fingerprint`); compared exactly.
+* ``health`` — the index's :class:`~repro.obs.health.HealthReport`
+  (``as_dict()``) at the end of the run: structural gauges (MPE drift,
+  tombstone/delta fractions, WAL backlog) with ok/warn status.  Purely
+  advisory and **optional**: absent in pre-PR-6 baselines, ignored by the
+  comparator, never gating.
 
 ``schema_version`` is checked on load: a report written by a different
 schema is rejected with :class:`BenchReportError` rather than being
@@ -60,12 +65,19 @@ class BenchReport:
     counters: Dict[str, Union[int, float]]
     advisory: Dict[str, float] = field(default_factory=dict)
     fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: Advisory health section (HealthReport.as_dict()); {} when the run
+    #: recorded none.  Optional in files for pre-PR-6 baseline compat.
+    health: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
         data = asdict(self)
+        # An empty health section is omitted, keeping reports from runs
+        # that sample no health identical to pre-PR-6 files.
+        if not data["health"]:
+            data.pop("health")
         # schema_version leads in the file for human readers.
         return {
             "schema_version": data.pop("schema_version"),
@@ -106,11 +118,20 @@ class BenchReport:
         missing = sorted(set(required) - set(data))
         if missing:
             raise BenchReportError(f"report missing fields: {missing}")
-        unknown = sorted(set(data) - set(required) - {"schema_version"})
+        optional = {"health": dict}
+        unknown = sorted(
+            set(data) - set(required) - set(optional) - {"schema_version"}
+        )
         if unknown:
             raise BenchReportError(f"report has unknown fields: {unknown}")
         for key, typ in required.items():
             if not isinstance(data[key], typ):
+                raise BenchReportError(
+                    f"report field {key!r} must be {typ.__name__}, "
+                    f"got {type(data[key]).__name__}"
+                )
+        for key, typ in optional.items():
+            if key in data and not isinstance(data[key], typ):
                 raise BenchReportError(
                     f"report field {key!r} must be {typ.__name__}, "
                     f"got {type(data[key]).__name__}"
@@ -129,6 +150,7 @@ class BenchReport:
             counters=dict(data["counters"]),
             advisory=dict(data["advisory"]),
             fingerprints=dict(data["fingerprints"]),
+            health=dict(data.get("health", {})),
             schema_version=version,
         )
 

@@ -31,6 +31,8 @@ import numpy as np
 
 from ..data.workload import QueryWorkload
 from ..index.base import QueryStats, VectorIndex
+from ..obs.health import HealthSampler
+from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, ensure_tracer
 from ..recovery import checkpoint, recover
 from ..recovery.harness import apply_op
@@ -96,6 +98,11 @@ def run_bench(
     counters: dict = {}
     advisory: dict = {}
     fingerprints: dict = {}
+    sampler = HealthSampler()
+    sampler.sample(index, label="build")
+    # One registry reused across instrumented legs, reset between modes so
+    # one leg's fault counters cannot leak into another's.
+    leg_metrics = MetricsRegistry()
 
     # Leg 1 — sequential cold-cache loop: the counter reference.
     with tracer.span(
@@ -149,7 +156,8 @@ def run_bench(
 
     # Leg 3 — transient read faults: same answers, observable retries.
     plan = spec.build_fault_plan()
-    faulty = index.enable_faults(plan)
+    leg_metrics.reset()
+    faulty = index.enable_faults(plan, metrics=leg_metrics)
     try:
         with tracer.span(
             "bench.faulted", counters=index.counters, spec=spec.name
@@ -175,6 +183,7 @@ def run_bench(
         if "faults.retried" in fault_counters
         else 0
     )
+    sampler.sample(index, label="queries")
 
     advisory.update(
         wall_seconds_sequential=wall_sequential,
@@ -247,6 +256,9 @@ def run_bench(
                 ),
                 recover_seconds=recover_s,
             )
+            # Sampled while the WAL is still attached, so the health
+            # section carries the wal_* gauges of the mutated index.
+            sampler.sample(index, label="updates")
         finally:
             wal.close()
             index.disable_wal()
@@ -259,4 +271,5 @@ def run_bench(
         counters=counters,
         advisory=advisory,
         fingerprints=fingerprints,
+        health=sampler.report().as_dict(),
     )

@@ -32,6 +32,7 @@ from __future__ import annotations
 import concurrent.futures
 import copy
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -40,7 +41,7 @@ import numpy as np
 
 from ..data.workload import QueryWorkload
 from ..index.base import QueryStats, VectorIndex
-from ..obs.tracer import Tracer, ensure_tracer
+from ..obs.tracer import NULL_TRACER, Span, TraceContext, Tracer, ensure_tracer
 from ..index.global_ldr import GlobalLDRIndex
 from ..index.idistance import ExtendedIDistance
 from ..index.seqscan import SequentialScan
@@ -97,44 +98,86 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _execute_chunk(
-    index: VectorIndex, chunk: QueryWorkload, use_batch: bool
+    index: VectorIndex,
+    chunk: QueryWorkload,
+    use_batch: bool,
+    tracer: Tracer = NULL_TRACER,
 ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], List[QueryStats]]:
     """Answer one contiguous workload chunk on ``index`` (cold-cache)."""
     if chunk.n_queries == 0:
         return None, None, []
     if use_batch:
-        result = index.knn_batch(chunk.queries, chunk.k)
+        result = index.knn_batch(chunk.queries, chunk.k, tracer=tracer)
         return result.ids, result.distances, list(result.stats)
     id_rows: List[np.ndarray] = []
     dist_rows: List[np.ndarray] = []
     stats: List[QueryStats] = []
     for query in chunk.queries:
         index.reset_cache()
-        res = index.knn(query, chunk.k)
+        res = index.knn(query, chunk.k, tracer=tracer)
         id_rows.append(res.ids)
         dist_rows.append(res.distances)
         stats.append(res.stats)
     return np.vstack(id_rows), np.vstack(dist_rows), stats
 
 
-def _parallel_chunk(
-    chunk_index: int,
-) -> Tuple[
-    Optional[np.ndarray], Optional[np.ndarray], List[QueryStats], CostSnapshot
-]:
+#: One chunk's shipped result: ids, distances, per-query stats, the counter
+#: delta to fold back (None when the chunk ran in-process on the live
+#: index), the worker tracer's spans (None when untraced), and its metric
+#: records (None when untraced).
+_ChunkResult = Tuple[
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+    List[QueryStats],
+    Optional[CostSnapshot],
+    Optional[List[Span]],
+    Optional[List[dict]],
+]
+
+
+def _parallel_chunk(chunk_index: int) -> _ChunkResult:
     """Answer one contiguous workload chunk on this worker's index clone.
 
     Returns the chunk's ``(ids, distances, stats)`` plus the counter *delta*
     the chunk incurred, so the parent can fold every worker's accounting
-    back into the original index in chunk order.
+    back into the original index in chunk order.  When the parent
+    propagated a :class:`~repro.obs.tracer.TraceContext`, the chunk runs
+    under a private worker tracer (rooted at a ``harness.worker_chunk``
+    span) whose spans and metric records ship back alongside the answers;
+    the parent grafts them into its trace via
+    :meth:`~repro.obs.tracer.Tracer.adopt_spans`, so one stitched tree
+    covers every worker.  An untraced run takes the exact pre-existing
+    path — no tracer, no spans, nothing extra pickled.
     """
     index: VectorIndex = _WORKER_STATE["indexes"][chunk_index]
     chunk: QueryWorkload = _WORKER_STATE["chunks"][chunk_index]
     use_batch: bool = _WORKER_STATE["use_batch"]
+    ctx: Optional[TraceContext] = _WORKER_STATE.get("trace")
     before = index.counters.snapshot()
-    ids, distances, stats = _execute_chunk(index, chunk, use_batch)
+    if ctx is None:
+        ids, distances, stats = _execute_chunk(index, chunk, use_batch)
+        delta = index.counters.snapshot() - before
+        return ids, distances, stats, delta, None, None
+    wtracer = Tracer(counters=index.counters, trace_id=ctx.trace_id)
+    with wtracer.span(
+        "harness.worker_chunk",
+        chunk=chunk_index,
+        queries=chunk.n_queries,
+        pid=os.getpid(),
+        parent_span=ctx.parent_index,
+    ):
+        ids, distances, stats = _execute_chunk(
+            index, chunk, use_batch, tracer=wtracer
+        )
     delta = index.counters.snapshot() - before
-    return ids, distances, stats, delta
+    return (
+        ids,
+        distances,
+        stats,
+        delta,
+        wtracer.spans,
+        wtracer.metrics.as_records(),
+    )
 
 
 def _run_round(
@@ -145,14 +188,17 @@ def _run_round(
     use_batch: bool,
     fork_ok: bool,
     timeout_s: Optional[float],
-    results: Dict[int, Tuple],
-) -> List[int]:
+    results: Dict[int, _ChunkResult],
+    trace_ctx: Optional[TraceContext] = None,
+) -> Dict[int, str]:
     """Run the ``pending`` chunk indexes on a fresh worker pool.
 
-    Successful chunks land in ``results``; the return value lists the
-    chunks that failed (worker exception, killed worker / broken pool, or
-    per-chunk timeout) and are still owed an answer.  A fresh executor per
-    round matters: one SIGKILLed fork poisons its whole
+    Successful chunks land in ``results``; the return value maps each
+    chunk that failed (worker exception, killed worker / broken pool, or
+    per-chunk timeout) to a failure reason — those chunks are still owed
+    an answer, and the reason survives to the degraded chunk's span so a
+    stitched trace shows *why* a chunk left the parallel path.  A fresh
+    executor per round matters: one SIGKILLed fork poisons its whole
     ``ProcessPoolExecutor``, so retries must not reuse it.
     """
     if fork_ok:
@@ -163,6 +209,7 @@ def _run_round(
         }
     _WORKER_STATE["chunks"] = {ci: chunks[ci] for ci in pending}
     _WORKER_STATE["use_batch"] = use_batch
+    _WORKER_STATE["trace"] = trace_ctx
     if fork_ok:
         ctx = multiprocessing.get_context("fork")
         executor = concurrent.futures.ProcessPoolExecutor(
@@ -172,7 +219,7 @@ def _run_round(
         executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=workers
         )
-    failed: List[int] = []
+    failed: Dict[int, str] = {}
     timed_out = False
     try:
         futures = {
@@ -185,14 +232,14 @@ def _run_round(
             if future in not_done:
                 timed_out = True
                 future.cancel()
-                failed.append(ci)
+                failed[ci] = "timeout"
                 continue
             try:
                 results[ci] = future.result()
-            except Exception:
+            except Exception as exc:
                 # Worker raised, or the pool broke (killed fork): the chunk
                 # is retried / degraded by the caller.
-                failed.append(ci)
+                failed[ci] = type(exc).__name__
     finally:
         if timed_out and fork_ok:
             # A hung fork never drains; reap it so shutdown cannot block.
@@ -228,11 +275,20 @@ def _run_parallel(
     are bit-identical on every rung, only wall-clock suffers.  The ladder
     is observable via ``harness.worker_failures`` / ``harness.chunk_retries``
     / ``harness.degraded_chunks`` counters on the tracer's metrics.
+
+    With a real ``tracer``, the run produces one *stitched* trace: each
+    worker records its chunk under a private tracer (propagated via
+    :class:`~repro.obs.tracer.TraceContext`) whose spans and metrics ship
+    back with the chunk's answers and are grafted under this call's
+    ``knn.parallel`` span in chunk order, with per-worker attribution;
+    degraded chunks appear as ``harness.degraded_chunk`` spans carrying
+    the failure reason that forced them off the parallel path.
     """
     chunks = workload.chunks(workers)
     fork_ok = "fork" in multiprocessing.get_all_start_methods()
-    results: Dict[int, Tuple] = {}
+    results: Dict[int, _ChunkResult] = {}
     pending = list(range(len(chunks)))
+    reasons: Dict[int, str] = {}
     with tracer.span(
         "knn.parallel",
         scheme=index.name,
@@ -241,6 +297,11 @@ def _run_parallel(
         fork=fork_ok,
         timeout_s=timeout_s,
     ) as span:
+        trace_ctx = (
+            TraceContext(tracer.trace_id, span.index)
+            if tracer.enabled
+            else None
+        )
         for round_idx in range(2):
             if not pending:
                 break
@@ -255,29 +316,47 @@ def _run_parallel(
                 fork_ok,
                 timeout_s,
                 results,
+                trace_ctx=trace_ctx,
             )
             if failed:
                 tracer.counter("harness.worker_failures").inc(len(failed))
-            pending = failed
+                reasons.update(failed)
+            pending = sorted(failed)
         if pending:
             # Last rung: sequential in-process execution of the survivors.
             # The live index's counters advance directly here, so these
-            # chunks carry no delta to fold back in.
+            # chunks carry no delta to fold back in.  Each degraded chunk
+            # runs under its own span (carrying the failure reason that
+            # pushed it off the parallel path), so its queries' spans are
+            # rooted in the stitched trace like any worker's.
             tracer.counter("harness.degraded_chunks").inc(len(pending))
             for ci in pending:
-                ids, distances, chunk_stats = _execute_chunk(
-                    index, chunks[ci], use_batch
-                )
-                results[ci] = (ids, distances, chunk_stats, None)
+                with tracer.span(
+                    "harness.degraded_chunk",
+                    counters=index.counters,
+                    chunk=ci,
+                    queries=chunks[ci].n_queries,
+                    reason=reasons.get(ci, "unknown"),
+                ):
+                    ids, distances, chunk_stats = _execute_chunk(
+                        index, chunks[ci], use_batch, tracer=tracer
+                    )
+                results[ci] = (ids, distances, chunk_stats, None, None, None)
         if tracer.enabled:
             span.set(degraded_chunks=len(pending))
     id_rows: List[np.ndarray] = []
     dist_rows: List[np.ndarray] = []
     stats: List[QueryStats] = []
     for ci in range(len(chunks)):
-        ids, distances, chunk_stats, delta = results[ci]
+        ids, distances, chunk_stats, delta, spans, metric_records = (
+            results[ci]
+        )
         if delta is not None:
             index.counters.merge(delta)
+        if spans:
+            tracer.adopt_spans(spans, parent=span, worker=ci)
+        if metric_records:
+            tracer.metrics.merge_records(metric_records)
         if ids is None:
             continue
         id_rows.append(ids)

@@ -301,6 +301,13 @@ class VectorIndex(ABC):
             wall = time.perf_counter() - start
             per_query = wall / max(1, queries.shape[0])
             stats = [replace(s, cpu_seconds=per_query) for s in stats]
+            # The loop path records per query via _measured; the
+            # vectorized path records here so the flight recorder sees
+            # every query either way.
+            flight = getattr(self, "flight", None)
+            if flight is not None:
+                for s in stats:
+                    flight.record(self.name, "knn_batch", s, k=k)
         else:
             ids, distances, stats = self._knn_batch_loop(
                 queries, k, tracer, cold_cache
@@ -572,7 +579,14 @@ class VectorIndex(ABC):
             "allocated_pages": self.store.allocated_pages,
         }
 
-    def _measured(self, fn, *args, tracer: Tracer = NULL_TRACER, **kwargs):
+    def _measured(
+        self,
+        fn,
+        *args,
+        tracer: Tracer = NULL_TRACER,
+        k: Optional[int] = None,
+        **kwargs,
+    ):
         """Run ``fn`` under the CPU timer and return (result, QueryStats).
 
         When a real ``tracer`` is supplied the call is wrapped in a
@@ -580,7 +594,9 @@ class VectorIndex(ABC):
         pool feeds ``buffer.hits``/``buffer.misses`` counters for the
         duration.  ``fn`` receives ``*args``/``kwargs`` untouched —
         callers that want per-phase spans pass the tracer along inside
-        ``args`` themselves.
+        ``args`` themselves.  An enabled flight recorder (see
+        :meth:`enable_flight_recorder`) gets the finished stats; ``k``
+        only labels that record.
         """
         before = self.counters.snapshot()
         previous_pool_tracer = self.pool.tracer
@@ -596,4 +612,81 @@ class VectorIndex(ABC):
         stats = QueryStats.from_snapshots(before, self.counters.snapshot())
         if tracer.enabled:
             tracer.gauge("buffer.hit_rate").set(self.pool.hit_rate)
+        flight = getattr(self, "flight", None)
+        if flight is not None:
+            flight.record(self.name, "knn", stats, k=k)
         return result, stats
+
+    # ------------------------------------------------------------------
+    # observability (DESIGN.md §12)
+    # ------------------------------------------------------------------
+
+    def explain(
+        self, query: np.ndarray, k: int
+    ) -> "QueryExplain":  # noqa: F821 - imported lazily below
+        """Run one cold-cache query under a private tracer and return its
+        :class:`~repro.obs.explain.QueryExplain` — the EXPLAIN ANALYZE
+        view of where that query's pages, distance evaluations, and key
+        comparisons went, phase by phase and (for iDistance) partition by
+        partition.
+
+        The query executes for real: the index's counters advance exactly
+        as a normal :meth:`knn` call would, and the explain totals equal
+        that call's :class:`QueryStats` counter for counter.
+        """
+        from ..obs.explain import explain_from_tracer
+
+        tracer = Tracer(counters=self.counters)
+        self.reset_cache()
+        result = self.knn(query, k, tracer=tracer)
+        return explain_from_tracer(
+            tracer,
+            k=k,
+            result_ids=result.ids.tolist(),
+            delta_rids=self._delta_rids(),
+        )
+
+    def _delta_rids(self):
+        """Row ids currently living in delta structures (online inserts
+        not yet merged into the bulk-loaded index), scheme-agnostic:
+        iDistance tracks per-partition delta pages via ``_delta_location``;
+        SeqScan/gLDR keep a shared :class:`~repro.index.dynamic.DeltaStore`.
+        """
+        locations = getattr(self, "_delta_location", None)
+        if locations is not None:
+            return locations.keys()
+        delta = getattr(self, "delta", None)
+        if delta is not None:
+            return delta.rids
+        return ()
+
+    def enable_flight_recorder(
+        self,
+        capacity: int = 256,
+        slow_threshold: Optional[int] = None,
+    ):
+        """Attach a :class:`~repro.obs.flight.FlightRecorder`: every
+        subsequent query leaves a bounded-memory cost record, with
+        ``slow_threshold`` (logical cost units — machine-independent)
+        classifying slow queries.  Returns the recorder; set
+        ``self.flight = None`` to detach."""
+        from ..obs.flight import FlightRecorder
+
+        self.flight = FlightRecorder(
+            capacity=capacity, slow_threshold=slow_threshold
+        )
+        return self.flight
+
+    def _note_routed_insert(self, subspace_idx: int, residual: float) -> None:
+        """Record one online insert's routing residual (its ``ProjDist_r``
+        to the chosen subspace) for the health sampler's live MPE
+        estimate.  Outlier-routed inserts (``subspace_idx < 0``) carry no
+        subspace residual.  Guarded with ``getattr`` because recovered /
+        unpickled indexes may predate the attribute."""
+        if subspace_idx < 0:
+            return
+        residuals = getattr(self, "_insert_residuals", None)
+        if residuals is None:
+            residuals = self._insert_residuals = {}
+        count, total = residuals.get(subspace_idx, (0, 0.0))
+        residuals[subspace_idx] = (count + 1, total + float(residual))

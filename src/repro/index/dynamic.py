@@ -24,13 +24,16 @@ __all__ = ["DeltaStore", "route_point"]
 
 def route_point(
     reduced: ReducedDataset, point: np.ndarray, beta: float
-) -> Tuple[int, np.ndarray]:
+) -> Tuple[int, np.ndarray, float]:
     """Route a new point the way the paper's dynamic insert does.
 
-    Returns ``(subspace_index, stored_vector)``: the subspace with the
-    smallest ``ProjDist_r`` hosts the point (stored as its reduced
-    projection) when that distance is within ``beta``; otherwise the point
-    is an outlier (``-1``) stored at full dimensionality.
+    Returns ``(subspace_index, stored_vector, residual)``: the subspace
+    with the smallest ``ProjDist_r`` hosts the point (stored as its
+    reduced projection) when that distance is within ``beta``; otherwise
+    the point is an outlier (``-1``) stored at full dimensionality.
+    ``residual`` is that smallest ``ProjDist_r`` (``inf`` when there are
+    no subspaces) — already computed for the routing decision, and fed to
+    the health sampler's live MPE-drift estimate for free.
     """
     point = np.asarray(point, dtype=np.float64)
     best_idx = -1
@@ -40,8 +43,8 @@ def route_point(
         if dist < best_dist:
             best_idx, best_dist = i, dist
     if best_idx < 0 or best_dist > beta:
-        return -1, point
-    return best_idx, reduced.subspaces[best_idx].project(point)
+        return -1, point, best_dist
+    return best_idx, reduced.subspaces[best_idx].project(point), best_dist
 
 
 class DeltaStore:

@@ -82,7 +82,8 @@ class GlobalLDRIndex(VectorIndex):
                 f"rid {rid} was deleted from this index; deleted ids "
                 "cannot be reused before a rebuild"
             )
-        sidx, vector = route_point(self.reduced, point, beta)
+        sidx, vector, residual = route_point(self.reduced, point, beta)
+        self._note_routed_insert(sidx, residual)
         with self._wal_txn("insert") as txn:
             self.delta.add(self.store, rid, sidx, vector)
             self.n_inserted += 1
@@ -138,7 +139,7 @@ class GlobalLDRIndex(VectorIndex):
             raise ValueError(f"k must be >= 1, got {k}")
         tracer = ensure_tracer(tracer)
         (ids, distances), stats = self._measured(
-            self._search, query, k, tracer, tracer=tracer
+            self._search, query, k, tracer, tracer=tracer, k=k
         )
         return KNNResult(ids=ids, distances=distances, stats=stats)
 

@@ -400,6 +400,9 @@ class ExtendedIDistance(VectorIndex):
                 f"rid {rid} was deleted from this index; deleted ids "
                 "cannot be reused before a rebuild"
             )
+        self._note_routed_insert(
+            best.index if best.subspace is not None else -1, best_dist
+        )
         with self._wal_txn("insert") as txn:
             self.tree.insert(best.index * self.c + offset, rid)
             best.delta_vectors.append(vector)
@@ -545,7 +548,7 @@ class ExtendedIDistance(VectorIndex):
             raise ValueError(f"k must be >= 1, got {k}")
         tracer = ensure_tracer(tracer)
         (ids, distances), stats = self._measured(
-            self._knn_search, query, k, tracer, tracer=tracer
+            self._knn_search, query, k, tracer, tracer=tracer, k=k
         )
         if tracer.enabled:
             tracer.histogram("knn.candidates_per_query").observe(

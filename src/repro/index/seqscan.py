@@ -84,7 +84,8 @@ class SequentialScan(VectorIndex):
                 f"rid {rid} was deleted from this index; deleted ids "
                 "cannot be reused before a rebuild"
             )
-        sidx, vector = route_point(self.reduced, point, beta)
+        sidx, vector, residual = route_point(self.reduced, point, beta)
+        self._note_routed_insert(sidx, residual)
         with self._wal_txn("insert") as txn:
             self.delta.add(self.store, rid, sidx, vector)
             self.n_inserted += 1
@@ -144,7 +145,7 @@ class SequentialScan(VectorIndex):
             raise ValueError(f"k must be >= 1, got {k}")
         tracer = ensure_tracer(tracer)
         (ids, distances), stats = self._measured(
-            self._scan, query, k, tracer, tracer=tracer
+            self._scan, query, k, tracer, tracer=tracer, k=k
         )
         return KNNResult(ids=ids, distances=distances, stats=stats)
 

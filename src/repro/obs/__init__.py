@@ -11,12 +11,26 @@ whole-query granularity:
   histograms (``knn.radius_expansions``, ``buffer.hit_rate``, ...).
 * :mod:`repro.obs.export` — JSONL trace files.
 * :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
-  prints a per-span total/mean/p95 + cost table.
+  prints a per-span total/mean/p95 + cost table; ``--explain`` renders
+  each query as an explain-plan tree.
+* :mod:`repro.obs.explain` — :class:`QueryExplain`, one query's span tree
+  as an exactly-telescoping cost breakdown (``VectorIndex.explain``).
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, a bounded ring of
+  per-query cost summaries with a logical slow-query threshold.
+* :mod:`repro.obs.health` — :class:`HealthSampler` /
+  :class:`HealthReport`, structural index gauges (MPE drift, tombstones,
+  delta growth, WAL backlog) with advisory thresholds.
 
 Instrumented call sites default to :data:`NULL_TRACER`, a shared no-op, so
 runs without a tracer pay only attribute lookups and stay bit-identical.
+Multi-worker runs stitch into one trace: :class:`TraceContext` propagates
+the trace identity into workers and :meth:`Tracer.adopt_spans` grafts
+their spans back under the parent span.
 """
 
+from .explain import QueryExplain, explain_from_records, explain_from_tracer
+from .flight import FlightRecorder, logical_cost
+from .health import HealthReport, HealthSampler
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -24,17 +38,32 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .tracer import NULL_TRACER, NullTracer, Span, Tracer, ensure_tracer
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    ensure_tracer,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
+    "HealthReport",
+    "HealthSampler",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QueryExplain",
     "Span",
+    "TraceContext",
     "Tracer",
     "ensure_tracer",
+    "explain_from_records",
+    "explain_from_tracer",
+    "logical_cost",
 ]

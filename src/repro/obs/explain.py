@@ -1,0 +1,316 @@
+"""Query explain plans: one KNN query's span tree as a cost breakdown.
+
+``VectorIndex.explain(query, k)`` runs a single traced query and turns its
+span tree + per-span cost deltas into a :class:`QueryExplain`: an
+EXPLAIN ANALYZE-style node tree (each node knows its *inclusive* cost and
+its *self* cost — inclusive minus children), per-phase aggregates, the
+per-partition probe breakdown of an iDistance search, radius-expansion
+counts, and the delta-store-vs-bulk split of the result set.
+
+The arithmetic backbone is telescoping: every span's self cost is its cost
+minus the sum of its children's costs, so summing self costs over the whole
+tree — equivalently, summing the per-phase aggregates — reproduces the root
+cost *exactly* for the integer logical counters (float ``cpu_seconds`` may
+drift by rounding).  The test suite asserts that equality against the
+query's :class:`~repro.index.base.QueryStats`, which makes the explain plan
+trustworthy: no page read or distance evaluation can hide between phases.
+
+Builders work on exported span *records* (the dicts of
+:func:`repro.obs.export.span_to_record`), so the same code explains a live
+tracer and a JSONL trace file (``python -m repro.obs.report --explain``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..storage.metrics import CostSnapshot
+
+__all__ = [
+    "INT_COST_FIELDS",
+    "ExplainNode",
+    "QueryExplain",
+    "explain_from_records",
+    "explain_from_tracer",
+    "render_explain",
+]
+
+#: The machine-independent cost counters (everything but wall-clock time).
+#: Telescoping self-cost sums are exact over these.
+INT_COST_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in fields(CostSnapshot) if f.name != "cpu_seconds"
+)
+
+_ZERO_COST: Dict[str, int] = {name: 0 for name in INT_COST_FIELDS}
+
+
+def _cost_of(record: dict) -> Dict[str, int]:
+    cost = record.get("cost")
+    if not cost:
+        return dict(_ZERO_COST)
+    return {name: int(cost.get(name, 0)) for name in INT_COST_FIELDS}
+
+
+def _add(into: Dict[str, int], other: Dict[str, int]) -> None:
+    for name in INT_COST_FIELDS:
+        into[name] += other[name]
+
+
+def _sub(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, int]:
+    return {name: a[name] - b[name] for name in INT_COST_FIELDS}
+
+
+def _page_reads(cost: Dict[str, int]) -> int:
+    return cost["physical_reads"] + cost["sequential_reads"]
+
+
+@dataclass
+class ExplainNode:
+    """One span of the query, with inclusive and self cost."""
+
+    name: str
+    index: int
+    depth: int
+    attrs: Dict[str, object]
+    duration_s: float
+    cost: Dict[str, int]
+    self_cost: Dict[str, int] = field(default_factory=dict)
+    children: List["ExplainNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterable["ExplainNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class QueryExplain:
+    """Structured cost attribution for one KNN query.
+
+    ``total`` is the root span's cost delta (== the query's
+    :class:`~repro.index.base.QueryStats` in counter terms); ``phases``
+    maps span name -> summed *self* cost, and sums back to ``total``
+    exactly.  ``partitions`` breaks iDistance probes down per partition
+    (empty for schemes without per-partition spans); ``delta_hits`` /
+    ``bulk_hits`` split the result ids between the dynamic delta store and
+    the bulk-loaded structure when the caller provides the delta rid set.
+    """
+
+    scheme: str
+    root: ExplainNode
+    total: Dict[str, int]
+    phases: Dict[str, Dict[str, int]]
+    expansions: int
+    partitions: Dict[int, Dict[str, int]]
+    duration_s: float
+    k: Optional[int] = None
+    result_ids: Optional[List[int]] = None
+    delta_hits: Optional[int] = None
+    bulk_hits: Optional[int] = None
+
+    @property
+    def total_page_reads(self) -> int:
+        return _page_reads(self.total)
+
+    def phase_sum(self) -> Dict[str, int]:
+        """Sum of per-phase self costs; equals ``total`` by telescoping."""
+        out = dict(_ZERO_COST)
+        for cost in self.phases.values():
+            _add(out, cost)
+        return out
+
+    def render(self) -> str:
+        return render_explain(self)
+
+
+def _build_tree(records: Sequence[dict], root_record: dict) -> ExplainNode:
+    """Materialize the subtree rooted at ``root_record`` from flat span
+    records (children linked by parent index, in event-log order)."""
+    nodes: Dict[int, ExplainNode] = {}
+    root = ExplainNode(
+        name=root_record["name"],
+        index=int(root_record["index"]),
+        depth=int(root_record["depth"]),
+        attrs=dict(root_record.get("attrs") or {}),
+        duration_s=float(root_record.get("duration_s", 0.0)),
+        cost=_cost_of(root_record),
+    )
+    nodes[root.index] = root
+    for record in records:
+        idx = int(record["index"])
+        if idx == root.index:
+            continue
+        parent = nodes.get(int(record["parent"]))
+        if parent is None:
+            continue  # outside this query's subtree
+        node = ExplainNode(
+            name=record["name"],
+            index=idx,
+            depth=int(record["depth"]),
+            attrs=dict(record.get("attrs") or {}),
+            duration_s=float(record.get("duration_s", 0.0)),
+            cost=_cost_of(record),
+        )
+        nodes[idx] = node
+        parent.children.append(node)
+    for node in nodes.values():
+        child_sum = dict(_ZERO_COST)
+        for child in node.children:
+            _add(child_sum, child.cost)
+        node.self_cost = _sub(node.cost, child_sum)
+    return root
+
+
+def _explain_from_tree(root: ExplainNode) -> QueryExplain:
+    phases: Dict[str, Dict[str, int]] = {}
+    partitions: Dict[int, Dict[str, int]] = {}
+    expansions = 0
+    for node in root.walk():
+        phase = phases.setdefault(node.name, dict(_ZERO_COST))
+        _add(phase, node.self_cost)
+        if node.name == "knn.expand_radius":
+            expansions += 1
+        if node.name == "knn.probe_partition":
+            pid = int(node.attrs.get("partition", -1))
+            agg = partitions.setdefault(
+                pid, {**_ZERO_COST, "probes": 0}
+            )
+            agg["probes"] += 1
+            for name in INT_COST_FIELDS:
+                agg[name] += node.cost[name]
+    return QueryExplain(
+        scheme=str(root.attrs.get("scheme", "?")),
+        root=root,
+        total=dict(root.cost),
+        phases=phases,
+        expansions=expansions,
+        partitions=partitions,
+        duration_s=root.duration_s,
+    )
+
+
+def explain_from_records(
+    span_records: Sequence[dict], root_name: str = "knn.query"
+) -> List[QueryExplain]:
+    """Build one :class:`QueryExplain` per ``root_name`` span in a flat
+    span-record list (e.g. a loaded JSONL trace, possibly holding many
+    queries and non-query spans)."""
+    return [
+        _explain_from_tree(_build_tree(span_records, record))
+        for record in span_records
+        if record["name"] == root_name
+    ]
+
+
+def explain_from_tracer(
+    tracer,
+    k: Optional[int] = None,
+    result_ids: Optional[Sequence[int]] = None,
+    delta_rids: Optional[Iterable[int]] = None,
+) -> QueryExplain:
+    """Explain the single ``knn.query`` recorded on ``tracer``.
+
+    ``result_ids`` and ``delta_rids`` (the index's dynamically inserted
+    rid set) enable the delta-store-vs-bulk hit split.  Raises when the
+    tracer holds no query span or more than one.
+    """
+    from .export import span_to_record
+
+    records = [span_to_record(s) for s in tracer.spans]
+    explains = explain_from_records(records)
+    if len(explains) != 1:
+        raise ValueError(
+            f"expected exactly one knn.query span, found {len(explains)}"
+        )
+    explain = explains[0]
+    explain.k = k
+    if result_ids is not None:
+        ids = [int(i) for i in result_ids]
+        explain.result_ids = ids
+        if delta_rids is not None:
+            delta = set(int(r) for r in delta_rids)
+            explain.delta_hits = sum(1 for i in ids if i in delta)
+            explain.bulk_hits = len(ids) - explain.delta_hits
+    return explain
+
+
+# ---------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------
+
+
+def _cost_line(cost: Dict[str, int]) -> str:
+    return (
+        f"pages={_page_reads(cost)} dist={cost['distance_computations']} "
+        f"flops={cost['distance_flops']} keys={cost['key_comparisons']}"
+    )
+
+
+def _attr_line(attrs: Dict[str, object]) -> str:
+    shown = {
+        key: value
+        for key, value in attrs.items()
+        if key not in ("scheme",) and value is not None
+    }
+    if not shown:
+        return ""
+    inner = ", ".join(
+        f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+        for key, value in shown.items()
+    )
+    return f" ({inner})"
+
+
+def render_explain(explain: QueryExplain) -> str:
+    """EXPLAIN ANALYZE-style text: the node tree, then phase and
+    partition summaries."""
+    lines: List[str] = []
+    header = f"KNN Explain — scheme={explain.scheme}"
+    if explain.k is not None:
+        header += f" k={explain.k}"
+    lines.append(header)
+    lines.append(
+        f"total: {_cost_line(explain.total)} "
+        f"time={explain.duration_s * 1e3:.3f}ms "
+        f"expansions={explain.expansions}"
+    )
+    if explain.delta_hits is not None:
+        lines.append(
+            f"result: {explain.bulk_hits} from bulk structure, "
+            f"{explain.delta_hits} from delta store"
+        )
+
+    def walk(node: ExplainNode, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(
+            f"{prefix}{connector}{node.name}{_attr_line(node.attrs)}"
+            f"  [{_cost_line(node.cost)} "
+            f"self:{_cost_line(node.self_cost)} "
+            f"time={node.duration_s * 1e3:.3f}ms]"
+        )
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1)
+
+    walk(explain.root, "", True)
+
+    lines.append("")
+    lines.append("phases (self cost; sums exactly to total):")
+    for name, cost in sorted(
+        explain.phases.items(), key=lambda kv: -_page_reads(kv[1])
+    ):
+        lines.append(f"  {name:<28} {_cost_line(cost)}")
+    if explain.partitions:
+        lines.append("")
+        lines.append("partitions:")
+        for pid in sorted(explain.partitions):
+            agg = explain.partitions[pid]
+            label = "outliers" if pid == len(explain.partitions) - 1 else ""
+            lines.append(
+                f"  p{pid:<3} probes={agg['probes']:<3} "
+                f"pages={agg['physical_reads'] + agg['sequential_reads']} "
+                f"dist={agg['distance_computations']} "
+                f"keys={agg['key_comparisons']} {label}".rstrip()
+            )
+    return "\n".join(lines)

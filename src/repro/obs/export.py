@@ -53,9 +53,19 @@ def _jsonable(value):
 
 
 def write_jsonl(path: Union[str, Path], tracer, append: bool = False) -> int:
-    """Write a tracer's spans and metrics to ``path``; returns #records."""
+    """Write a tracer's spans and metrics to ``path``; returns #records.
+
+    A leading ``{"type": "trace", "id": ...}`` record names the trace (the
+    tracer's ``trace_id``) so stitched multi-worker traces stay attributable
+    after export; readers that don't know the record type see it under
+    ``read_jsonl``'s ``"other"`` bucket.
+    """
     path = Path(path)
-    records: List[dict] = [span_to_record(s) for s in tracer.spans]
+    records: List[dict] = []
+    trace_id = getattr(tracer, "trace_id", None)
+    if trace_id is not None and trace_id != "null":
+        records.append({"type": "trace", "id": trace_id})
+    records.extend(span_to_record(s) for s in tracer.spans)
     metrics = getattr(tracer, "metrics", None)
     if metrics is not None:
         records.extend(metrics.as_records())

@@ -1,0 +1,174 @@
+"""Flight recorder: a bounded ring buffer of per-query cost summaries.
+
+Always-on query observability with O(capacity) memory: every query answered
+by an index with :meth:`~repro.index.base.VectorIndex.enable_flight_recorder`
+leaves one small :class:`FlightRecord` in a ring buffer (old records fall
+off the back), so "what has this index been doing lately" and "which
+queries were slow" are answerable after the fact without tracing anything.
+
+Slowness is judged on *logical* cost, not wall time, so the threshold means
+the same thing on a laptop and in CI: ``logical_cost = cpu_work +
+page_reads * LOGICAL_PAGE_WEIGHT`` where cpu_work is the repo's
+deterministic CPU proxy (distance flops + key comparisons) and each 4 KiB
+page read is charged :data:`LOGICAL_PAGE_WEIGHT` units — the number of
+float64 values a page holds, i.e. a read costs as much as scoring every
+value it carries once.
+
+The recorder must never perturb the measurement: it reads a query's
+finished :class:`~repro.index.base.QueryStats` after the counters are
+diffed, touches no counters itself, and drops records instead of growing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+__all__ = [
+    "LOGICAL_PAGE_WEIGHT",
+    "FlightRecord",
+    "FlightRecorder",
+    "logical_cost",
+]
+
+#: Logical-cost weight of one page read: float64 values per 4 KiB page.
+LOGICAL_PAGE_WEIGHT = 512
+
+
+def logical_cost(stats) -> int:
+    """Machine-independent cost of one query from its
+    :class:`~repro.index.base.QueryStats`."""
+    return int(stats.cpu_work + stats.page_reads * LOGICAL_PAGE_WEIGHT)
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """One query's cost summary, as kept in the ring buffer."""
+
+    seq: int  # recorder-lifetime query number (keeps ordering after wrap)
+    scheme: str
+    kind: str  # "knn" (per-query path) or "knn_batch" (vectorized path)
+    k: Optional[int]
+    page_reads: int
+    distance_computations: int
+    distance_flops: int
+    key_comparisons: int
+    cpu_seconds: float
+    logical_cost: int
+    slow: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "k": self.k,
+            "page_reads": self.page_reads,
+            "distance_computations": self.distance_computations,
+            "distance_flops": self.distance_flops,
+            "key_comparisons": self.key_comparisons,
+            "cpu_seconds": self.cpu_seconds,
+            "logical_cost": self.logical_cost,
+            "slow": self.slow,
+        }
+
+
+class FlightRecorder:
+    """Bounded per-query cost history with a logical slow-query threshold.
+
+    ``capacity`` bounds memory (a :class:`collections.deque` ring);
+    ``slow_threshold`` (logical cost units) marks records as slow and
+    counts them over the recorder's lifetime — ``None`` disables slow
+    classification.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_threshold: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slow_threshold = slow_threshold
+        self.records: Deque[FlightRecord] = deque(maxlen=capacity)
+        self.total_queries = 0  # lifetime, unlike len(records)
+        self.slow_queries = 0
+
+    def record(self, scheme: str, kind: str, stats, k: Optional[int] = None
+               ) -> FlightRecord:
+        """Append one finished query's stats; returns the stored record."""
+        cost = logical_cost(stats)
+        slow = (
+            self.slow_threshold is not None and cost >= self.slow_threshold
+        )
+        rec = FlightRecord(
+            seq=self.total_queries,
+            scheme=scheme,
+            kind=kind,
+            k=k,
+            page_reads=int(stats.page_reads),
+            distance_computations=int(stats.distance_computations),
+            distance_flops=int(stats.distance_flops),
+            key_comparisons=int(stats.key_comparisons),
+            cpu_seconds=float(stats.cpu_seconds),
+            logical_cost=cost,
+            slow=slow,
+        )
+        self.records.append(rec)
+        self.total_queries += 1
+        if slow:
+            self.slow_queries += 1
+        return rec
+
+    def top_offenders(self, n: int = 10) -> List[FlightRecord]:
+        """The n most expensive retained queries, costliest first (ties
+        broken oldest-first so the ranking is deterministic)."""
+        return sorted(
+            self.records, key=lambda r: (-r.logical_cost, r.seq)
+        )[:n]
+
+    def slow_records(self) -> List[FlightRecord]:
+        """Retained records at or above the slow threshold, in order."""
+        return [r for r in self.records if r.slow]
+
+    def summary(self) -> dict:
+        """Lifetime counts plus the retained buffer's cost spread."""
+        costs = [r.logical_cost for r in self.records]
+        return {
+            "total_queries": self.total_queries,
+            "slow_queries": self.slow_queries,
+            "retained": len(self.records),
+            "capacity": self.capacity,
+            "slow_threshold": self.slow_threshold,
+            "max_logical_cost": max(costs) if costs else 0,
+            "mean_logical_cost": (
+                sum(costs) / len(costs) if costs else 0.0
+            ),
+        }
+
+    def render(self, n: int = 10) -> str:
+        """Top-offenders table for terminals and test failures."""
+        lines = [
+            "flight recorder: "
+            f"{self.total_queries} queries seen, "
+            f"{len(self.records)} retained, "
+            f"{self.slow_queries} slow"
+            + (
+                f" (threshold {self.slow_threshold})"
+                if self.slow_threshold is not None
+                else ""
+            ),
+            f"{'seq':>6} {'scheme':<10} {'kind':<10} {'k':>4} "
+            f"{'pages':>7} {'flops':>9} {'keys':>7} {'logical':>9} slow",
+        ]
+        for r in self.top_offenders(n):
+            lines.append(
+                f"{r.seq:>6} {r.scheme:<10} {r.kind:<10} "
+                f"{r.k if r.k is not None else '-':>4} "
+                f"{r.page_reads:>7} {r.distance_flops:>9} "
+                f"{r.key_comparisons:>7} {r.logical_cost:>9} "
+                f"{'*' if r.slow else ''}"
+            )
+        return "\n".join(lines)

@@ -105,12 +105,13 @@ class Histogram:
         """Upper bound of the bucket containing the q-quantile (0 < q <= 1).
 
         Returns ``inf`` when the quantile falls in the overflow bucket and
-        ``0.0`` when the histogram is empty.
+        ``nan`` when the histogram is empty — an empty histogram has no
+        quantiles, and ``0.0`` would read as "all observations were fast".
         """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return math.nan
         rank = math.ceil(q * self.count)
         seen = 0
         for bound, n in zip(self.bounds, self.counts):
@@ -172,6 +173,48 @@ class MetricsRegistry:
                 name, buckets if buckets is not None else DEFAULT_BUCKETS
             )
         return instrument
+
+    def reset(self) -> None:
+        """Drop every instrument so the registry can be reused across runs.
+
+        Handles to previously issued instruments stay functional but
+        detached — the next get-or-create returns a fresh instrument, so
+        records from one bench leg cannot leak into the next.
+        """
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def merge_records(self, records: List[dict]) -> None:
+        """Fold flattened instrument records (one worker's
+        :meth:`as_records` output) into this registry.
+
+        Counters add, gauges last-write-win (callers merge workers in
+        chunk order, keeping the outcome deterministic), histograms merge
+        bucket-by-bucket.  A histogram whose bucket grid differs from the
+        local instrument's cannot be merged losslessly and raises.
+        """
+        for record in records:
+            kind = record.get("type")
+            name = record["name"]
+            if kind == "counter":
+                self.counter(name).inc(float(record["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(record["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=record["bounds"])
+                if hist.bounds != [float(b) for b in record["bounds"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket grids differ; "
+                        "cannot merge worker records losslessly"
+                    )
+                for i, n in enumerate(record["counts"]):
+                    hist.counts[i] += int(n)
+                hist.overflow += int(record["overflow"])
+                hist.total += float(record["total"])
+                hist.count += int(record["count"])
+            else:
+                raise ValueError(f"unknown metric record type {kind!r}")
 
     def as_records(self) -> List[dict]:
         """Flatten every instrument to a JSON-serializable record."""

@@ -3,13 +3,17 @@
 Usage::
 
     python -m repro.obs.report trace.jsonl [--sort total|count|pages|name]
-                                           [--top N]
+                                           [--top N] [--explain]
 
 For every span name the report shows call count, total/mean/p95 wall time,
 and the summed cost deltas (page reads, distance computations, distance
 flops, key comparisons) — i.e. where inside a query or a fit the I/O and
 CPU work actually went, phase by phase.  Counters, gauges and histograms
 recorded alongside the spans are printed below the table.
+
+``--explain`` switches to the per-query view: every ``knn.query`` span in
+the trace is rendered as an EXPLAIN ANALYZE-style tree (see
+:mod:`repro.obs.explain`) instead of the aggregate table.
 """
 
 from __future__ import annotations
@@ -142,9 +146,11 @@ def render_report(
 
 
 def _histogram_percentile(record: dict, q: float) -> float:
+    # nan for an empty histogram, matching Histogram.percentile — 0.0
+    # would read as "all observations were fast".
     count = record["count"]
     if not count:
-        return 0.0
+        return math.nan
     rank = math.ceil(q * count)
     seen = 0
     for bound, n in zip(record["bounds"], record["counts"]):
@@ -168,12 +174,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--top", type=int, default=None, help="only show the first N rows"
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="render each knn.query span as an explain-plan tree instead "
+        "of the aggregate table",
+    )
     args = parser.parse_args(argv)
     try:
         trace = read_jsonl(args.trace)
     except OSError as exc:
         print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
         return 1
+    if args.explain:
+        from .explain import explain_from_records
+
+        explains = explain_from_records(trace["spans"])
+        if not explains:
+            print("(no knn.query spans in trace)")
+            return 0
+        shown = explains if args.top is None else explains[: args.top]
+        for i, explain in enumerate(shown):
+            if i:
+                print()
+            print(explain.render())
+        if len(shown) < len(explains):
+            print(
+                f"\n({len(explains) - len(shown)} more queries; "
+                "raise --top to see them)"
+            )
+        return 0
     print(render_report(trace, sort=args.sort, top=args.top))
     return 0
 

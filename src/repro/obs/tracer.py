@@ -27,9 +27,11 @@ Tracers are not thread-safe; use one per worker.
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..storage.metrics import CostCounters, CostSnapshot
 from .metrics import (
@@ -39,7 +41,36 @@ from .metrics import (
     _NULL_HISTOGRAM,
 )
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "ensure_tracer"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ensure_tracer",
+]
+
+#: Per-process trace-id sequence; combined with the pid so ids minted in a
+#: forked worker can never collide with the coordinator's.
+_TRACE_SEQ = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{os.getpid():x}-{next(_TRACE_SEQ):x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to join its spans to a parent trace.
+
+    Propagated (picklable) into forked/thread workers by the parallel
+    harness: the worker records spans on a private tracer stamped with
+    ``trace_id`` and ships them back; the parent re-indexes them under the
+    span at ``parent_index`` via :meth:`Tracer.adopt_spans`.
+    """
+
+    trace_id: str
+    parent_index: int
 
 
 @dataclass
@@ -107,9 +138,11 @@ class Tracer:
         self,
         counters: Optional[CostCounters] = None,
         metrics: Optional[MetricsRegistry] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.counters = counters
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._epoch = time.perf_counter()
@@ -168,6 +201,59 @@ class Tracer:
         """The innermost open span, or ``None`` between spans."""
         return self._stack[-1] if self._stack else None
 
+    def clear(self) -> None:
+        """Forget every recorded span and metric, keeping the tracer
+        attached (counters, identity) so long-lived callers — the bench
+        runner between legs, a reused harness tracer between runs — can
+        reuse one tracer without records leaking across runs.
+
+        Clearing while a span is open would orphan it, so that raises.
+        A fresh trace id is minted: the next run is a new trace.
+        """
+        if self._stack:
+            raise RuntimeError(
+                f"cannot clear while span {self._stack[-1].name!r} is open"
+            )
+        self.spans = []
+        self.metrics.reset()
+        self.trace_id = _new_trace_id()
+        self._epoch = time.perf_counter()
+
+    def adopt_spans(
+        self,
+        spans: Sequence[Span],
+        parent: Optional[Span] = None,
+        worker: Optional[int] = None,
+    ) -> int:
+        """Graft a worker tracer's (closed) spans into this trace.
+
+        ``spans`` must be one tracer's complete span list in its event-log
+        order: indices are rebased onto this tracer's log, local parent
+        links are preserved, and roots (``parent == -1``) are re-parented
+        under ``parent`` (or stay roots) with depths shifted accordingly.
+        ``worker`` stamps a ``worker`` attribute on the adopted roots so a
+        stitched trace keeps per-worker attribution.  Returns the number
+        of spans adopted.
+        """
+        if not spans:
+            return 0
+        base = len(self.spans)
+        local0 = spans[0].index  # worker logs start at 0; rebase from it
+        parent_index = parent.index if parent is not None else -1
+        parent_depth = parent.depth + 1 if parent is not None else 0
+        for span in spans:
+            span.index = span.index - local0 + base
+            if span.parent == -1:
+                span.parent = parent_index
+                span.depth += parent_depth
+                if worker is not None:
+                    span.attributes.setdefault("worker", worker)
+            else:
+                span.parent = span.parent - local0 + base
+                span.depth += parent_depth
+            self.spans.append(span)
+        return len(spans)
+
     # ------------------------------------------------------------------
     # metrics pass-through (uniform API with NullTracer)
     # ------------------------------------------------------------------
@@ -221,9 +307,16 @@ class NullTracer:
 
     enabled = False
     spans: List[Span] = []  # always empty; shared intentionally
+    trace_id = "null"
 
     def span(self, name: str, counters=None, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def clear(self) -> None:
+        return None
+
+    def adopt_spans(self, spans, parent=None, worker=None) -> int:
+        return 0
 
     def counter(self, name: str):
         return _NULL_COUNTER

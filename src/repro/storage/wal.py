@@ -242,8 +242,19 @@ class WriteAheadLog:
                 next_txn = (
                     max(r.txn_id for r in records) + 1
                 )
+            self._records_in_log = len(records)
+            self._bytes_in_log = valid_bytes
+            # Commits since the last checkpoint in the surviving log; a
+            # truncating checkpoint leaves only its own record, so this
+            # is exact for the truncate=True discipline the indexes use.
+            self._commits_since_checkpoint = sum(
+                1 for r in records if r.rtype == COMMIT
+            )
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._records_in_log = 0
+            self._bytes_in_log = 0
+            self._commits_since_checkpoint = 0
         self._next_lsn = next_lsn
         self._next_txn = max(next_txn, 1)
         self._fh = open(self.path, "ab")
@@ -273,6 +284,8 @@ class WriteAheadLog:
         self._next_lsn += 1
         frame = _encode(lsn, txn_id, rtype, payload)
         self._fh.write(frame)
+        self._records_in_log += 1
+        self._bytes_in_log += len(frame)
         self.metrics.counter("wal.appends").inc()
         self.metrics.counter("wal.bytes_appended").inc(len(frame))
         return lsn
@@ -294,6 +307,22 @@ class WriteAheadLog:
     def last_lsn(self) -> int:
         """LSN of the most recently appended record (0 when empty)."""
         return self._next_lsn - 1
+
+    def stats(self) -> dict:
+        """Log size and checkpoint recency, tracked incrementally.
+
+        No disk re-scan: ``bytes``/``records`` follow appends and
+        truncating checkpoints in memory (validated against the on-disk
+        scan at open), so the health sampler can poll this per operation.
+        ``commits_since_checkpoint`` is the recovery-replay backlog —
+        the checkpoint age measured in committed operations.
+        """
+        return {
+            "bytes": self._bytes_in_log,
+            "records": self._records_in_log,
+            "commits_since_checkpoint": self._commits_since_checkpoint,
+            "last_lsn": self.last_lsn,
+        }
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -340,6 +369,7 @@ class WriteAheadLog:
         )
         self.flush()
         self.metrics.counter("wal.commits").inc()
+        self._commits_since_checkpoint += 1
         txn.committed = True
         self._active = None
         return lsn
@@ -396,8 +426,13 @@ class WriteAheadLog:
             with open(self.path, "wb") as fh:
                 fh.write(frame)
             self._fh = open(self.path, "ab")
+            self._records_in_log = 1
+            self._bytes_in_log = len(frame)
         else:
             self._fh.write(frame)
+            self._records_in_log += 1
+            self._bytes_in_log += len(frame)
+        self._commits_since_checkpoint = 0
         self.flush()
         self.metrics.counter("wal.checkpoints").inc()
         return lsn

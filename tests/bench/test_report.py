@@ -50,6 +50,49 @@ class TestRoundTrip:
         }
 
 
+class TestAdvisoryHealthSection:
+    def test_empty_health_is_omitted_from_to_dict(self, report):
+        assert "health" not in report.to_dict()
+
+    def test_from_dict_without_health_yields_empty(self, report):
+        loaded = BenchReport.from_dict(report.to_dict())
+        assert loaded.health == {}
+
+    def test_populated_health_round_trips(self, report):
+        health = {
+            "ok": False,
+            "scheme": "iDistance",
+            "n_samples": 3,
+            "gauges": {"mpe_drift_max": 0.7},
+            "status": {"mpe_drift_max": "warn"},
+            "warnings": ["mpe_drift_max=0.7 is above 0.5"],
+        }
+        full = BenchReport(
+            name=report.name,
+            spec=report.spec,
+            counters=report.counters,
+            advisory=report.advisory,
+            fingerprints=report.fingerprints,
+            health=health,
+        )
+        data = full.to_dict()
+        assert data["health"] == health
+        assert BenchReport.from_dict(data) == full
+
+    def test_non_object_health_rejected(self, report):
+        data = report.to_dict()
+        data["health"] = ["warn"]
+        with pytest.raises(BenchReportError, match="health"):
+            BenchReport.from_dict(data)
+
+    def test_unknown_fields_still_rejected_alongside_health(self, report):
+        data = report.to_dict()
+        data["health"] = {"ok": True}
+        data["wall_clock"] = 1.0
+        with pytest.raises(BenchReportError, match="unknown"):
+            BenchReport.from_dict(data)
+
+
 class TestSchemaRejection:
     def test_version_mismatch(self, report):
         data = report.to_dict()

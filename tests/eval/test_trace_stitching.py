@@ -1,0 +1,194 @@
+"""Cross-worker trace stitching: one coherent trace from a parallel run.
+
+``run_query_batch(workers=N, tracer=...)`` must yield a single trace in
+which every worker's spans appear under the ``knn.parallel`` root with
+correct parentage and per-worker attribution — and when a worker dies, the
+degraded chunk's spans must still land in the trace, labelled with the
+failure reason that pushed the chunk off the parallel path.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.data.workload import sample_queries
+from repro.eval.harness import run_workload
+from repro.index.seqscan import SequentialScan
+from repro.obs.export import write_jsonl
+from repro.obs.tracer import Tracer
+from repro.reduction.mmdr_adapter import model_to_reduced
+
+from .test_harness_robustness import SabotagedIndex, fork_only
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(two_cluster_dataset.points, np.random.default_rng(5))
+    return model_to_reduced(model)
+
+
+@pytest.fixture(scope="module")
+def workload(two_cluster_dataset):
+    return sample_queries(
+        two_cluster_dataset.points,
+        12,
+        np.random.default_rng(9),
+        k=6,
+        method="perturbed",
+    )
+
+
+def one(spans, name):
+    matches = [s for s in spans if s.name == name]
+    assert len(matches) == 1, f"expected one {name}, got {len(matches)}"
+    return matches[0]
+
+
+def assert_coherent(tracer):
+    """Structural sanity of a stitched trace: the span list is one event
+    log (indices match positions) and every parent link resolves to an
+    earlier span with the right depth."""
+    spans = tracer.spans
+    assert [s.index for s in spans] == list(range(len(spans)))
+    for span in spans:
+        if span.parent == -1:
+            continue
+        parent = spans[span.parent]
+        assert parent.index < span.index
+        assert span.depth == parent.depth + 1
+
+
+class TestHappyPathStitching:
+    @pytest.mark.obs_smoke
+    def test_two_workers_one_trace_with_attribution(
+        self, reduced, workload
+    ):
+        tracer = Tracer()
+        run_workload(
+            SequentialScan(reduced), workload, workers=2, tracer=tracer
+        )
+        assert_coherent(tracer)
+        parallel = one(tracer.spans, "knn.parallel")
+        chunks = [
+            s for s in tracer.spans if s.name == "harness.worker_chunk"
+        ]
+        assert len(chunks) == 2
+        assert sorted(s.attributes["worker"] for s in chunks) == [0, 1]
+        for chunk in chunks:
+            assert chunk.parent == parallel.index
+            assert chunk.depth == parallel.depth + 1
+            assert chunk.attributes["worker"] == chunk.attributes["chunk"]
+            assert chunk.attributes["parent_span"] == parallel.index
+            assert "pid" in chunk.attributes
+            # The chunk's actual work nests beneath it.
+            children = [
+                s for s in tracer.spans if s.parent == chunk.index
+            ]
+            assert [c.name for c in children] == ["knn.batch"]
+        assert parallel.attributes["degraded_chunks"] == 0
+        # The stitched file stands alone as one trace.
+        out_dir = Path("benchmarks") / "out" / "obs"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"stitched_{os.getpid()}.jsonl"
+        try:
+            assert write_jsonl(path, tracer) > 0
+        finally:
+            path.unlink(missing_ok=True)
+
+    def test_per_query_spans_ship_back_too(self, reduced, workload):
+        tracer = Tracer()
+        run_workload(
+            SequentialScan(reduced), workload, workers=2,
+            use_batch=False, tracer=tracer,
+        )
+        assert_coherent(tracer)
+        queries = [s for s in tracer.spans if s.name == "knn.query"]
+        assert len(queries) == workload.n_queries
+        chunk_indexes = {
+            s.index for s in tracer.spans
+            if s.name == "harness.worker_chunk"
+        }
+        assert all(q.parent in chunk_indexes for q in queries)
+        # Every query span shipped with its cost delta intact.
+        assert all(q.cost is not None for q in queries)
+
+    def test_worker_metrics_are_merged(self, reduced, workload):
+        tracer = Tracer()
+        run_workload(
+            SequentialScan(reduced), workload, workers=2, tracer=tracer
+        )
+        assert "knn.batch_qps" in tracer.metrics.gauges
+
+    def test_results_bit_identical_with_and_without_tracer(
+        self, reduced, workload
+    ):
+        plain = run_workload(SequentialScan(reduced), workload, workers=2)
+        traced = run_workload(
+            SequentialScan(reduced), workload, workers=2, tracer=Tracer()
+        )
+        assert np.array_equal(plain[0], traced[0])
+        assert np.array_equal(plain[1], traced[1])
+        for a, b in zip(plain[2], traced[2]):
+            assert a.page_reads == b.page_reads
+            assert a.distance_computations == b.distance_computations
+            assert a.distance_flops == b.distance_flops
+            assert a.key_comparisons == b.key_comparisons
+
+
+@fork_only
+class TestDegradedChunkStitching:
+    def test_killed_workers_leave_degraded_spans_with_reasons(
+        self, reduced, workload
+    ):
+        tracer = Tracer()
+        index = SabotagedIndex(SequentialScan(reduced), "kill_always")
+        run_workload(index, workload, workers=2, tracer=tracer)
+        assert_coherent(tracer)
+        parallel = one(tracer.spans, "knn.parallel")
+        degraded = [
+            s for s in tracer.spans if s.name == "harness.degraded_chunk"
+        ]
+        assert len(degraded) == 2
+        assert sorted(s.attributes["chunk"] for s in degraded) == [0, 1]
+        for span in degraded:
+            assert span.parent == parallel.index
+            reason = span.attributes["reason"]
+            assert isinstance(reason, str) and reason
+            assert reason != "unknown"
+            # The in-process fallback's work nests under the degraded
+            # span, so the trace stays complete.
+            children = [
+                s for s in tracer.spans if s.parent == span.index
+            ]
+            assert children
+            assert span.cost is not None
+        # Dead workers shipped nothing back.
+        assert not any(
+            s.name == "harness.worker_chunk" for s in tracer.spans
+        )
+        assert parallel.attributes["degraded_chunks"] == 2
+        assert tracer.metrics.counters[
+            "harness.degraded_chunks"
+        ].value == 2
+
+    def test_recovered_retry_still_stitches_worker_spans(
+        self, reduced, workload, tmp_path
+    ):
+        tracer = Tracer()
+        index = SabotagedIndex(
+            SequentialScan(reduced), "kill_once", tmp_path / "killed"
+        )
+        run_workload(index, workload, workers=2, tracer=tracer)
+        assert_coherent(tracer)
+        # The retry round succeeded, so every chunk is a worker chunk and
+        # nothing degraded.
+        chunks = [
+            s for s in tracer.spans if s.name == "harness.worker_chunk"
+        ]
+        assert sorted(s.attributes["chunk"] for s in chunks) == [0, 1]
+        assert not any(
+            s.name == "harness.degraded_chunk" for s in tracer.spans
+        )

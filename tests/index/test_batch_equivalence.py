@@ -17,7 +17,7 @@ from repro.eval.harness import run_query_batch, run_workload
 from repro.index.global_ldr import GlobalLDRIndex
 from repro.index.idistance import ExtendedIDistance
 from repro.index.seqscan import SequentialScan
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.reduction.mmdr_adapter import model_to_reduced
 
 
@@ -160,6 +160,38 @@ class TestBatchEquivalence:
         for a, b in zip(plain.stats, traced.stats):
             assert a.page_reads == b.page_reads
             assert a.distance_computations == b.distance_computations
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_zero_overhead_invariant_on_batch_path(
+        self, scheme, reduced, workload
+    ):
+        """The full zero-overhead contract through knn_batch: an active
+        tracer must leave results, per-query stats AND the index's own
+        counters bit-identical to the NULL_TRACER default."""
+        _, red = reduced
+        plain_index = scheme(red)
+        plain = plain_index.knn_batch(
+            workload.queries, workload.k, tracer=NULL_TRACER
+        )
+        traced_index = scheme(red)
+        traced = traced_index.knn_batch(
+            workload.queries, workload.k, tracer=Tracer()
+        )
+        assert_equivalent(
+            (plain.ids, plain.distances, list(plain.stats)),
+            (traced.ids, traced.distances, list(traced.stats)),
+        )
+        for f in (
+            "logical_reads",
+            "physical_reads",
+            "sequential_reads",
+            "distance_computations",
+            "distance_flops",
+            "key_comparisons",
+        ):
+            assert getattr(plain_index.counters, f) == getattr(
+                traced_index.counters, f
+            ), f
 
     def test_batch_spans_emitted(self, reduced, workload):
         _, red = reduced

@@ -16,6 +16,7 @@ from repro.data.workload import sample_queries
 from repro.index.global_ldr import GlobalLDRIndex
 from repro.index.idistance import ExtendedIDistance
 from repro.index.seqscan import SequentialScan
+from repro.obs.tracer import Tracer
 from repro.reduction.mmdr_adapter import model_to_reduced
 from repro.storage.faults import FaultPlan
 from repro.storage.pager import PageCorruptionError
@@ -95,6 +96,46 @@ class TestTransientFaultEquivalence:
         assert_identical(
             (clean.ids, clean.distances, list(clean.stats)),
             (res.ids, res.distances, list(res.stats)),
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_zero_overhead_invariant_on_faulted_path(
+        self, scheme, reduced, workload
+    ):
+        """Tracing a faulted run must not change anything the retry path
+        produces: same answers, same accounting, same injected/retried
+        fault counts as the NULL_TRACER default — the tracer only watches
+        the retries, never participates in them."""
+        plain_index = scheme(reduced)
+        plain_faulty = plain_index.enable_faults(TRANSIENT_PLAN)
+        plain = run_sequential(plain_index, workload)
+
+        traced_index = scheme(reduced)
+        traced_faulty = traced_index.enable_faults(TRANSIENT_PLAN)
+        tracer = Tracer()
+        ids, dists, stats = [], [], []
+        for query in workload.queries:
+            traced_index.reset_cache()
+            res = traced_index.knn(query, workload.k, tracer=tracer)
+            ids.append(res.ids)
+            dists.append(res.distances)
+            stats.append(res.stats)
+        traced = (np.vstack(ids), np.vstack(dists), stats)
+
+        assert_identical(plain, traced)
+        for a, b in zip(plain[2], traced[2]):
+            assert a.distance_flops == b.distance_flops
+        assert (
+            plain_faulty.faults_injected == traced_faulty.faults_injected
+        )
+        assert (
+            plain_faulty.fault_metrics.counter("faults.retried").value
+            == traced_faulty.fault_metrics.counter("faults.retried").value
+        )
+        # The traced run really did trace: one span per query.
+        assert (
+            sum(1 for s in tracer.spans if s.name == "knn.query")
+            == workload.n_queries
         )
 
     def test_disable_faults_restores_store(self, reduced, workload):

@@ -1,0 +1,181 @@
+"""Explain plans: per-phase cost attribution that sums exactly to the query.
+
+The trust property under test: for every scheme, the explain plan's summed
+per-phase self costs reproduce the query's own ``QueryStats`` counter for
+counter — no page read or distance evaluation can hide between phases.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.data.workload import sample_queries
+from repro.eval.harness import run_query_batch
+from repro.index.global_ldr import GlobalLDRIndex
+from repro.index.idistance import ExtendedIDistance
+from repro.index.seqscan import SequentialScan
+from repro.obs.explain import (
+    INT_COST_FIELDS,
+    explain_from_records,
+    explain_from_tracer,
+)
+from repro.obs.export import write_jsonl
+from repro.obs.report import main as report_main
+from repro.obs.tracer import Tracer
+from repro.reduction.mmdr_adapter import model_to_reduced
+
+SCHEMES = [ExtendedIDistance, SequentialScan, GlobalLDRIndex]
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(two_cluster_dataset.points, np.random.default_rng(5))
+    return model_to_reduced(model)
+
+
+@pytest.fixture(scope="module")
+def query(two_cluster_dataset):
+    return sample_queries(
+        two_cluster_dataset.points,
+        1,
+        np.random.default_rng(9),
+        k=5,
+        method="perturbed",
+    ).queries[0]
+
+
+class TestExplainTotalsMatchQueryStats:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_totals_equal_a_fresh_runs_counters(self, scheme, reduced, query):
+        index = scheme(reduced)
+        index.reset_cache()
+        ref = index.knn(query, 5)
+        explain = index.explain(query, 5)
+        assert explain.total_page_reads == ref.stats.page_reads
+        assert (
+            explain.total["distance_computations"]
+            == ref.stats.distance_computations
+        )
+        assert explain.total["distance_flops"] == ref.stats.distance_flops
+        assert explain.total["key_comparisons"] == ref.stats.key_comparisons
+        assert explain.result_ids == ref.ids.tolist()
+        assert explain.k == 5
+        assert explain.scheme == index.name
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_phase_sum_telescopes_exactly_to_total(
+        self, scheme, reduced, query
+    ):
+        explain = scheme(reduced).explain(query, 5)
+        summed = explain.phase_sum()
+        for name in INT_COST_FIELDS:
+            assert summed[name] == explain.total[name], name
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_self_costs_telescope_over_the_whole_tree(
+        self, scheme, reduced, query
+    ):
+        explain = scheme(reduced).explain(query, 5)
+        for name in INT_COST_FIELDS:
+            assert (
+                sum(node.self_cost[name] for node in explain.root.walk())
+                == explain.total[name]
+            )
+
+
+class TestIDistanceBreakdown:
+    def test_partitions_and_expansions_present(self, reduced, query):
+        explain = ExtendedIDistance(reduced).explain(query, 5)
+        assert explain.expansions >= 1
+        assert explain.partitions, "iDistance explain must break down probes"
+        total_probes = sum(
+            agg["probes"] for agg in explain.partitions.values()
+        )
+        probe_spans = [
+            n for n in explain.root.walk() if n.name == "knn.probe_partition"
+        ]
+        assert total_probes == len(probe_spans)
+        # Per-partition page reads sum to the probe phase's inclusive cost.
+        assert all(isinstance(pid, int) for pid in explain.partitions)
+
+    def test_delta_hits_split_after_inserts(
+        self, reduced, two_cluster_dataset
+    ):
+        index = ExtendedIDistance(reduced)
+        anchor = two_cluster_dataset.points[7]
+        index.insert(anchor + 1e-7, rid=990_001)
+        explain = index.explain(anchor, 3)
+        assert explain.delta_hits is not None
+        assert explain.delta_hits >= 1
+        assert explain.delta_hits + explain.bulk_hits == len(
+            explain.result_ids
+        )
+
+    def test_render_mentions_tree_phases_and_partitions(
+        self, reduced, query
+    ):
+        text = ExtendedIDistance(reduced).explain(query, 5).render()
+        assert "KNN Explain" in text
+        assert "scheme=iDistance" in text
+        assert "knn.query" in text
+        assert "phases" in text
+        assert "partitions:" in text
+        assert "└─" in text  # the tree actually rendered
+
+
+class TestExplainBuilders:
+    def test_zero_query_spans_raise(self):
+        with pytest.raises(ValueError, match="exactly one knn.query"):
+            explain_from_tracer(Tracer())
+
+    def test_many_queries_from_one_trace(self, reduced, two_cluster_dataset):
+        workload = sample_queries(
+            two_cluster_dataset.points, 4, np.random.default_rng(3), k=5
+        )
+        tracer = Tracer()
+        index = ExtendedIDistance(reduced)
+        run_query_batch(index, workload, tracer=tracer)
+        from repro.obs.export import span_to_record
+
+        records = [span_to_record(s) for s in tracer.spans]
+        explains = explain_from_records(records)
+        assert len(explains) == workload.n_queries
+        for explain in explains:
+            summed = explain.phase_sum()
+            for name in INT_COST_FIELDS:
+                assert summed[name] == explain.total[name]
+
+
+@pytest.mark.obs_smoke
+class TestExplainCLI:
+    def test_report_explain_renders_each_query(
+        self, reduced, two_cluster_dataset, capsys
+    ):
+        workload = sample_queries(
+            two_cluster_dataset.points, 3, np.random.default_rng(3), k=5
+        )
+        tracer = Tracer()
+        run_query_batch(ExtendedIDistance(reduced), workload, tracer=tracer)
+        out_dir = Path("benchmarks") / "out" / "obs"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"explain_trace_{os.getpid()}.jsonl"
+        write_jsonl(path, tracer)
+        try:
+            assert report_main([str(path), "--explain", "--top", "2"]) == 0
+            out = capsys.readouterr().out
+            assert out.count("KNN Explain") == 2
+            assert "1 more queries" in out
+        finally:
+            path.unlink(missing_ok=True)
+
+    def test_trace_without_queries_says_so(self, tmp_path, capsys):
+        tracer = Tracer()
+        with tracer.span("bench.build"):
+            pass
+        path = tmp_path / "noquery.jsonl"
+        write_jsonl(path, tracer)
+        assert report_main([str(path), "--explain"]) == 0
+        assert "no knn.query spans" in capsys.readouterr().out

@@ -1,0 +1,230 @@
+"""Health telemetry: MPE drift, delta/tombstone growth, WAL backlog.
+
+The sampler is the operator's early-warning view of a live index: these
+tests pin the gauge arithmetic (the live MPE estimate must match the
+closed-form update from the routing residuals), the threshold semantics,
+the JSONL export, and the incremental WAL stats it polls.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.index.idistance import ExtendedIDistance
+from repro.index.seqscan import SequentialScan
+from repro.obs.health import (
+    DEFAULT_THRESHOLDS,
+    HealthReport,
+    HealthSampler,
+    Threshold,
+    sample_gauges,
+)
+from repro.reduction.mmdr_adapter import model_to_reduced
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(two_cluster_dataset.points, np.random.default_rng(5))
+    return model_to_reduced(model)
+
+
+class TestGauges:
+    def test_fresh_index_is_structurally_clean(self, reduced):
+        gauges = sample_gauges(ExtendedIDistance(reduced))
+        assert gauges["live_count"] == reduced.n_points
+        assert gauges["tombstone_count"] == 0
+        assert gauges["tombstone_fraction"] == 0.0
+        assert gauges["delta_entries"] == 0
+        assert gauges["delta_fraction"] == 0.0
+        assert gauges["mpe_drift_max"] == 0.0
+        assert "wal_bytes" not in gauges  # no WAL attached
+        for i, subspace in enumerate(reduced.subspaces):
+            assert gauges[f"mpe_live.p{i}"] == pytest.approx(subspace.mpe)
+
+    def test_live_mpe_follows_routing_residuals(
+        self, reduced, two_cluster_dataset, rng
+    ):
+        index = ExtendedIDistance(reduced)
+        for i in range(8):
+            noisy = two_cluster_dataset.points[i] + rng.normal(
+                0.0, 0.05, reduced.dimensionality
+            )
+            index.insert(noisy, rid=980_000 + i)
+        residuals = index._insert_residuals
+        assert residuals, "subspace-routed inserts must record residuals"
+        gauges = sample_gauges(index)
+        for sidx, (count, total) in residuals.items():
+            subspace = reduced.subspaces[sidx]
+            expected = (subspace.mpe * subspace.size + total) / (
+                subspace.size + count
+            )
+            assert gauges[f"mpe_live.p{sidx}"] == pytest.approx(expected)
+        assert gauges["delta_entries"] == 8
+        assert gauges["mpe_drift_max"] >= 0.0
+
+    def test_outlier_insert_records_no_residual(self, reduced):
+        index = ExtendedIDistance(reduced)
+        index.insert(np.full(reduced.dimensionality, 90.0), rid=970_000)
+        assert not getattr(index, "_insert_residuals", {})
+
+    def test_tombstones_move_the_fraction(self, reduced):
+        index = SequentialScan(reduced)
+        n = reduced.n_points
+        index.delete(0)
+        index.delete(1)
+        gauges = sample_gauges(index)
+        assert gauges["tombstone_count"] == 2
+        assert gauges["tombstone_fraction"] == pytest.approx(2 / n)
+        assert gauges["live_count"] == n - 2
+
+
+class TestThresholds:
+    def test_direction_above_and_below(self):
+        above = Threshold("above", 1.0)
+        assert above.status(1.0) == "ok"
+        assert above.status(1.1) == "warn"
+        below = Threshold("below", 0.5)
+        assert below.status(0.6) == "ok"
+        assert below.status(0.4) == "warn"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Threshold("sideways", 1.0)
+
+    def test_default_thresholds_fire_as_warnings(self, reduced):
+        sampler = HealthSampler()
+        sampler.sample(ExtendedIDistance(reduced))
+        # Force a warning by judging delta growth against an absurd bar.
+        report = sampler.report(
+            thresholds={"live_count": Threshold("below", 1e12)}
+        )
+        assert not report.ok
+        assert report.status["live_count"] == "warn"
+        assert any("live_count" in w for w in report.warnings)
+
+    def test_healthy_index_passes_default_thresholds(self, reduced):
+        sampler = HealthSampler()
+        sampler.sample(ExtendedIDistance(reduced), label="build")
+        report = sampler.report()
+        assert report.ok
+        assert report.warnings == ()
+        assert set(report.status) <= set(DEFAULT_THRESHOLDS)
+        assert all(v == "ok" for v in report.status.values())
+
+    def test_empty_sampler_reports_vacuously_ok(self):
+        report = HealthSampler().report()
+        assert report.ok
+        assert report.n_samples == 0
+        assert report.gauges == {}
+        assert report.scheme == "?"
+
+
+class TestReportShape:
+    def test_as_dict_is_json_ready_and_sorted(self, reduced):
+        sampler = HealthSampler()
+        sampler.sample(ExtendedIDistance(reduced), label="build")
+        data = sampler.report().as_dict()
+        assert set(data) == {
+            "ok", "scheme", "n_samples", "gauges", "status", "warnings",
+        }
+        assert list(data["gauges"]) == sorted(data["gauges"])
+        json.dumps(data)  # must not raise
+
+    def test_report_judges_the_latest_sample(self, reduced):
+        index = SequentialScan(reduced)
+        sampler = HealthSampler()
+        sampler.sample(index, label="build")
+        index.delete(0)
+        sampler.sample(index, label="updates")
+        report = sampler.report()
+        assert report.n_samples == 2
+        assert report.gauges["tombstone_count"] == 1
+
+
+@pytest.mark.obs_smoke
+class TestTimeSeriesExport:
+    def test_jsonl_export_one_record_per_sample(self, reduced):
+        index = SequentialScan(reduced)
+        sampler = HealthSampler()
+        sampler.sample(index, label="build")
+        index.insert(index.reduced.subspaces[0].mean, rid=960_000)
+        sampler.sample(index, label="updates")
+        out_dir = Path("benchmarks") / "out" / "obs"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"health_{os.getpid()}.jsonl"
+        try:
+            assert sampler.export_jsonl(path) == 2
+            rows = [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+            ]
+            assert [r["type"] for r in rows] == ["health", "health"]
+            assert [r["seq"] for r in rows] == [0, 1]
+            assert [r["label"] for r in rows] == ["build", "updates"]
+            assert rows[1]["gauges"]["delta_entries"] == 1
+        finally:
+            path.unlink(missing_ok=True)
+
+
+class TestWALGauges:
+    def test_stats_track_appends_commits_and_checkpoints(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        try:
+            assert wal.stats() == {
+                "bytes": 0, "records": 0,
+                "commits_since_checkpoint": 0, "last_lsn": 0,
+            }
+            for _ in range(3):
+                with wal.transaction("insert") as txn:
+                    txn.set_meta({"kind": "insert"})
+            stats = wal.stats()
+            assert stats["records"] == 6  # BEGIN + COMMIT per txn
+            assert stats["bytes"] > 0
+            assert stats["commits_since_checkpoint"] == 3
+            wal.checkpoint(tmp_path / "snap")
+            stats = wal.stats()
+            assert stats["records"] == 1  # only the CHECKPOINT survives
+            assert stats["commits_since_checkpoint"] == 0
+            assert stats["last_lsn"] == 7  # LSNs count across truncation
+        finally:
+            wal.close()
+
+    def test_stats_survive_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        with wal.transaction("insert") as txn:
+            txn.set_meta({"kind": "insert"})
+        before = wal.stats()
+        wal.close()
+        reopened = WriteAheadLog(path)
+        try:
+            after = reopened.stats()
+            assert after["bytes"] == before["bytes"]
+            assert after["records"] == before["records"]
+            assert (
+                after["commits_since_checkpoint"]
+                == before["commits_since_checkpoint"]
+            )
+        finally:
+            reopened.close()
+
+    def test_sampler_sees_wal_gauges_through_the_index(
+        self, reduced, tmp_path
+    ):
+        index = SequentialScan(reduced)
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        try:
+            index.enable_wal(wal)
+            index.insert(reduced.subspaces[0].mean, rid=950_000)
+            gauges = sample_gauges(index)
+            assert gauges["wal_records"] > 0
+            assert gauges["wal_bytes"] > 0
+            assert gauges["wal_commits_since_checkpoint"] == 1.0
+        finally:
+            index.disable_wal()
+            wal.close()

@@ -74,9 +74,11 @@ class TestHistogramBuckets:
         assert h.percentile(0.95) == 2
         assert h.percentile(1.0) == 10
 
-    def test_percentile_overflow_is_inf_and_empty_is_zero(self):
+    def test_percentile_overflow_is_inf_and_empty_is_nan(self):
         h = Histogram("h", buckets=(1,))
-        assert h.percentile(0.95) == 0.0
+        # An empty histogram has no quantiles: nan, not a misleading 0.0
+        # that would read as "all observations were fast".
+        assert math.isnan(h.percentile(0.95))
         h.observe(100)
         assert h.percentile(0.95) == math.inf
 
@@ -106,3 +108,62 @@ class TestRecords:
         assert records["g"]["value"] == 0.5
         assert records["h"]["counts"] == [0, 1]
         assert records["h"]["count"] == 1
+
+
+class TestReset:
+    def test_reset_drops_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1)
+        reg.reset()
+        assert reg.as_records() == []
+        # Get-or-create after reset yields fresh instruments.
+        assert reg.counter("c").value == 0
+
+    def test_old_handles_are_detached_not_broken(self):
+        reg = MetricsRegistry()
+        handle = reg.counter("c")
+        reg.reset()
+        handle.inc()  # still functional...
+        assert reg.counter("c").value == 0  # ...but no longer registered
+
+
+class TestMergeRecords:
+    def test_counters_add_gauges_last_write_histograms_pool(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(2)
+        worker.gauge("g").set(0.25)
+        worker.histogram("h", buckets=(1, 2)).observe(1.5)
+        local = MetricsRegistry()
+        local.counter("c").inc(1)
+        local.gauge("g").set(0.75)
+        local.histogram("h", buckets=(1, 2)).observe(5)
+
+        local.merge_records(worker.as_records())
+        assert local.counter("c").value == 3
+        assert local.gauge("g").value == 0.25  # worker folded last wins
+        h = local.histogram("h")
+        assert h.counts == [0, 1]
+        assert h.overflow == 1
+        assert h.count == 2
+
+    def test_merge_creates_missing_instruments(self):
+        worker = MetricsRegistry()
+        worker.counter("only.there").inc(7)
+        local = MetricsRegistry()
+        local.merge_records(worker.as_records())
+        assert local.counter("only.there").value == 7
+
+    def test_mismatched_histogram_grids_raise(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1, 2)).observe(1)
+        local = MetricsRegistry()
+        local.histogram("h", buckets=(10, 20)).observe(15)
+        with pytest.raises(ValueError, match="bucket grids differ"):
+            local.merge_records(worker.as_records())
+
+    def test_unknown_record_type_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown metric record"):
+            reg.merge_records([{"type": "nope", "name": "x"}])

@@ -29,7 +29,7 @@ def make_trace(tmp_path):
 class TestRoundTrip:
     def test_record_count(self, tmp_path):
         path, tracer, n = make_trace(tmp_path)
-        assert n == 6 + 3  # 6 spans + 3 metric records
+        assert n == 1 + 6 + 3  # trace id + 6 spans + 3 metric records
 
     def test_spans_survive_with_order_and_cost(self, tmp_path):
         path, tracer, _ = make_trace(tmp_path)
@@ -80,7 +80,15 @@ class TestRoundTrip:
             fh.write('{"type": "span", "name": "trunc')  # interrupted write
         loaded = read_jsonl(path)
         assert len(loaded["spans"]) == 6
-        assert loaded["other"] == [{"type": "malformed", "line": n + 1}]
+        assert loaded["other"] == [
+            {"type": "trace", "id": tracer.trace_id},
+            {"type": "malformed", "line": n + 1},
+        ]
+
+    def test_trace_id_record_leads_the_file(self, tmp_path):
+        path, tracer, _ = make_trace(tmp_path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"type": "trace", "id": tracer.trace_id}
 
 
 class TestAggregation:
