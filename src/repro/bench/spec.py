@@ -29,9 +29,11 @@ from ..index.base import VectorIndex
 from ..index.global_ldr import GlobalLDRIndex
 from ..index.idistance import ExtendedIDistance
 from ..index.seqscan import SequentialScan
+from ..linalg.kernels import normalize_rows
 from ..recovery.harness import Op, make_update_workload
 from ..reduction import LDRReducer, MMDRReducer, ReducedDataset
 from ..storage.faults import FaultPlan
+from ..storage.mmap_store import MmapPageStore
 
 __all__ = ["WorkloadSpec", "INDEX_SCHEMES", "REDUCERS"]
 
@@ -56,6 +58,14 @@ class WorkloadSpec:
     name: str
     scheme: str = "iMMDR"
     reducer: str = "mmdr"
+    #: Search metric: "l2" (the paper's setting) or "cosine" (data rows
+    #: unit-normalized before reduction; queries/inserts normalized by the
+    #: index — see DESIGN.md §13).
+    metric: str = "l2"
+    #: Physical page store: "memory" (default) or "mmap" (out-of-core
+    #: :class:`~repro.storage.mmap_store.MmapPageStore`).  Logical counters
+    #: and fingerprints are store-independent by contract.
+    store: str = "memory"
 
     # Synthetic dataset (repro.data.synthetic).
     n_points: int = 2000
@@ -95,6 +105,14 @@ class WorkloadSpec:
                 f"unknown reducer {self.reducer!r}; "
                 f"expected one of {sorted(REDUCERS)}"
             )
+        if self.metric not in ("l2", "cosine"):
+            raise ValueError(
+                f"metric must be 'l2' or 'cosine', got {self.metric!r}"
+            )
+        if self.store not in ("memory", "mmap"):
+            raise ValueError(
+                f"store must be 'memory' or 'mmap', got {self.store!r}"
+            )
 
     # -- serialization -------------------------------------------------
 
@@ -133,14 +151,25 @@ class WorkloadSpec:
         data = generate_correlated_clusters(
             spec, np.random.default_rng(self.data_seed)
         )
-        return data.points
+        points = data.points
+        if self.metric == "cosine":
+            # Cosine = L2 over unit vectors: normalization happens once,
+            # here, so reduction, bulk load, and queries all see the same
+            # representation.
+            points = normalize_rows(points)
+        return points
 
     def build_reduced(self, points: np.ndarray) -> ReducedDataset:
         reducer = REDUCERS[self.reducer]()
-        return reducer.reduce(points, np.random.default_rng(self.reduce_seed))
+        reduced = reducer.reduce(
+            points, np.random.default_rng(self.reduce_seed)
+        )
+        reduced.metric = self.metric
+        return reduced
 
     def build_index(self, reduced: ReducedDataset) -> VectorIndex:
-        return INDEX_SCHEMES[self.scheme](reduced)
+        factory = MmapPageStore if self.store == "mmap" else None
+        return INDEX_SCHEMES[self.scheme](reduced, store_factory=factory)
 
     def build_workload(self, points: np.ndarray) -> QueryWorkload:
         return sample_queries(

@@ -71,4 +71,21 @@ DEFAULT_SPECS = _registry(
         n_inserts=6,
         n_deletes=4,
     ),
+    # Cosine end-to-end: unit-normalized data through MMDR + iDistance,
+    # running out-of-core on the mmap store (exercises both new paths).
+    WorkloadSpec(
+        name="idistance_cosine_smoke",
+        scheme="iMMDR",
+        reducer="mmdr",
+        metric="cosine",
+        store="mmap",
+        n_points=1500,
+        dimensionality=16,
+        n_clusters=2,
+        retained_dims=4,
+        n_queries=16,
+        k=10,
+        n_inserts=6,
+        n_deletes=4,
+    ),
 )

@@ -70,7 +70,12 @@ class EllipticalSubspace:
         # bit-identity checks.
         self.basis = np.ascontiguousarray(self.basis, dtype=np.float64)
         self.member_ids = np.asarray(self.member_ids, dtype=np.int64)
-        self.projections = np.asarray(self.projections, dtype=np.float64)
+        # C-contiguous at construction so the distance kernels (which now
+        # reject non-contiguous input instead of silently copying) never
+        # pay a per-query recontiguation on this hot array.
+        self.projections = np.ascontiguousarray(
+            self.projections, dtype=np.float64
+        )
         if self.basis.ndim != 2:
             raise ValueError("basis must be a (d, d_r) matrix")
         if self.projections.shape != (self.member_ids.size, self.reduced_dim):
@@ -135,7 +140,9 @@ class OutlierSet:
 
     def __post_init__(self) -> None:
         self.member_ids = np.asarray(self.member_ids, dtype=np.int64)
-        self.points = np.atleast_2d(np.asarray(self.points, dtype=np.float64))
+        self.points = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(self.points, dtype=np.float64))
+        )
         if self.member_ids.size == 0:
             self.points = self.points.reshape(0, self.points.shape[-1])
         if self.points.shape[0] != self.member_ids.size:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Union
 
+from ..linalg.kernels import normalize_rows
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..storage.buffer import BufferPool
@@ -133,9 +134,10 @@ class BatchKNNResult:
     distances: np.ndarray
     stats: Tuple[QueryStats, ...]
     wall_seconds: float
-    #: Workload row indices rejected by validation (NaN/Inf components).
-    #: Those rows hold ids of -1, NaN distances, and all-zero stats — the
-    #: rest of the batch is answered normally (skip-and-report, not abort).
+    #: Workload row indices rejected by validation (NaN/Inf components;
+    #: zero vectors under the cosine metric).  Those rows hold ids of -1,
+    #: NaN distances, and all-zero stats — the rest of the batch is
+    #: answered normally (skip-and-report, not abort).
     invalid_queries: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
@@ -174,9 +176,21 @@ class VectorIndex(ABC):
     #: Scheme name used in experiment tables ("iDistance", "gLDR", "SeqScan").
     name: str = "index"
 
-    def __init__(self, pool_pages: int = DEFAULT_POOL_PAGES) -> None:
+    def __init__(
+        self,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        store_factory: Optional[Callable[[CostCounters], PageStore]] = None,
+    ) -> None:
+        """``store_factory`` selects the physical page store: any callable
+        taking a :class:`~repro.storage.metrics.CostCounters` and returning
+        a :class:`~repro.storage.pager.PageStore` (e.g.
+        :class:`~repro.storage.mmap_store.MmapPageStore` for out-of-core
+        operation).  Defaults to the in-memory store.  Logical I/O
+        accounting is store-independent, so swapping the factory never
+        changes counters or results."""
         self.counters = CostCounters()
-        self.store = PageStore(self.counters)
+        factory = store_factory if store_factory is not None else PageStore
+        self.store = factory(self.counters)
         self.pool = BufferPool(self.store, pool_pages, self.counters)
 
     @abstractmethod
@@ -226,7 +240,9 @@ class VectorIndex(ABC):
         workload; a dimensionality mismatch is structural to the whole
         matrix and raises :class:`InvalidQueryError` outright.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        queries = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        )
         if queries.ndim != 2:
             raise ValueError(
                 f"queries must be (Q, d), got shape {queries.shape}"
@@ -240,9 +256,14 @@ class VectorIndex(ABC):
                 f"was built over {expected}-dimensional data"
             )
         tracer = ensure_tracer(tracer)
-        finite = np.isfinite(queries).all(axis=1)
-        invalid_rows = np.flatnonzero(~finite)
-        valid_queries = queries if finite.all() else queries[finite]
+        valid = np.isfinite(queries).all(axis=1)
+        if self.metric == "cosine":
+            # Zero vectors have no direction: skip-and-report, same as NaN.
+            valid &= np.linalg.norm(queries, axis=1) > 0.0
+        invalid_rows = np.flatnonzero(~valid)
+        valid_queries = queries if valid.all() else queries[valid]
+        if self.metric == "cosine":
+            valid_queries = normalize_rows(valid_queries)
         start = time.perf_counter()
         with tracer.span(
             "knn.batch",
@@ -268,11 +289,11 @@ class VectorIndex(ABC):
             full_dists = np.full(
                 (queries.shape[0], k_cols), np.nan, dtype=np.float64
             )
-            full_ids[finite] = ids
-            full_dists[finite] = distances
+            full_ids[valid] = ids
+            full_dists[valid] = distances
             zero = QueryStats(0, 0, 0, 0, 0.0)
             full_stats: List[QueryStats] = [zero] * queries.shape[0]
-            for row, s in zip(np.flatnonzero(finite).tolist(), stats):
+            for row, s in zip(np.flatnonzero(valid).tolist(), stats):
                 full_stats[row] = s
             ids, distances, stats = full_ids, full_dists, full_stats
         if tracer.enabled and wall > 0:
@@ -373,6 +394,17 @@ class VectorIndex(ABC):
             return None
         return int(reduced.dimensionality)
 
+    @property
+    def metric(self) -> str:
+        """The search metric the index answers under (``"l2"`` or
+        ``"cosine"``), inherited from the reduced dataset it was built
+        over.  Cosine is implemented as L2 over unit-normalized vectors
+        (DESIGN.md §13): the stored data was normalized at reduction time,
+        and queries/inserts are normalized on the way in, after which every
+        kernel, bound, and counter behaves exactly as under L2."""
+        reduced = getattr(self, "reduced", None)
+        return getattr(reduced, "metric", "l2") if reduced is not None else "l2"
+
     def _check_query(self, query: np.ndarray) -> np.ndarray:
         """Validate one query vector, raising :class:`InvalidQueryError`.
 
@@ -395,7 +427,28 @@ class VectorIndex(ABC):
             raise InvalidQueryError(
                 "query contains NaN or Inf components"
             )
+        if self.metric == "cosine":
+            if float(np.linalg.norm(query)) == 0.0:
+                raise InvalidQueryError(
+                    "cosine similarity is undefined for the zero vector"
+                )
+            # Through normalize_rows (not a scalar division) so the
+            # per-query path is bit-identical to the batched one.
+            query = normalize_rows(query[None, :])[0]
         return query
+
+    def _prepare_point(self, point: np.ndarray) -> np.ndarray:
+        """Canonicalize one insert vector: contiguous float64, normalized
+        to unit length under the cosine metric (zero vectors are rejected
+        — they have no direction to index)."""
+        point = np.ascontiguousarray(np.asarray(point, dtype=np.float64))
+        if self.metric == "cosine":
+            if float(np.linalg.norm(point)) == 0.0:
+                raise InvalidQueryError(
+                    "cannot insert the zero vector under the cosine metric"
+                )
+            point = normalize_rows(point[None, :])[0]
+        return point
 
     def _repoint_store(self, store: PageStore) -> None:
         """Swap every component's store reference (buffer pool, B+-tree,

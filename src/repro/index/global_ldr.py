@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..linalg.kernels import batch_l2_rows
+from ..linalg.backend import batch_l2_rows
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..storage.pager import pages_for_vectors
@@ -42,8 +42,9 @@ class GlobalLDRIndex(VectorIndex):
         self,
         reduced: ReducedDataset,
         pool_pages: int = DEFAULT_POOL_PAGES,
+        store_factory=None,
     ) -> None:
-        super().__init__(pool_pages=pool_pages)
+        super().__init__(pool_pages=pool_pages, store_factory=store_factory)
         self.reduced = reduced
         self.trees: List[HybridTree] = []
         for subspace in reduced.subspaces:
@@ -75,7 +76,7 @@ class GlobalLDRIndex(VectorIndex):
         paper's dynamic insert (nearest subspace within β, else outlier).
         The delta rides alongside the Hybrid trees and is scanned by every
         query.  Returns the subspace index used (-1 for outlier/full-d)."""
-        point = np.asarray(point, dtype=np.float64)
+        point = self._prepare_point(point)
         rid = int(rid)
         if rid in self._tombstones:
             raise ValueError(

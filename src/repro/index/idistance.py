@@ -55,7 +55,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.subspace import EllipticalSubspace, OutlierSet
-from ..linalg.kernels import (
+from ..linalg.backend import (
     cold_lru_physical_reads,
     flat_l2,
     multi_arange,
@@ -221,8 +221,9 @@ class ExtendedIDistance(VectorIndex):
         reduced: ReducedDataset,
         radius_step: Optional[float] = None,
         pool_pages: int = DEFAULT_POOL_PAGES,
+        store_factory=None,
     ) -> None:
-        super().__init__(pool_pages=pool_pages)
+        super().__init__(pool_pages=pool_pages, store_factory=store_factory)
         self.reduced = reduced
         self.partitions: List[_Partition] = []
         self._build_partitions()
@@ -363,7 +364,7 @@ class ExtendedIDistance(VectorIndex):
         build time) or if no outlier partition exists to absorb a
         non-conforming point.
         """
-        point = np.asarray(point, dtype=np.float64)
+        point = self._prepare_point(point)
         best: Optional[_Partition] = None
         best_dist = np.inf
         for partition in self.partitions:

@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..linalg.kernels import batch_l2_rows
+from ..linalg.backend import batch_l2_rows
 from ..obs.tracer import NULL_TRACER, Tracer, ensure_tracer
 from ..reduction.base import ReducedDataset
 from ..storage.metrics import CostSnapshot
@@ -40,8 +40,9 @@ class SequentialScan(VectorIndex):
         self,
         reduced: ReducedDataset,
         pool_pages: int = DEFAULT_POOL_PAGES,
+        store_factory=None,
     ) -> None:
-        super().__init__(pool_pages=pool_pages)
+        super().__init__(pool_pages=pool_pages, store_factory=store_factory)
         self.reduced = reduced
         #: Pages the bulk-loaded data occupies (subspaces + outliers).
         self.scan_pages = sum(
@@ -77,7 +78,7 @@ class SequentialScan(VectorIndex):
         """Insert a point into the scan's delta store, routed like the
         paper's dynamic insert (nearest subspace within β, else outlier).
         Returns the subspace index used (-1 for outlier/full-d)."""
-        point = np.asarray(point, dtype=np.float64)
+        point = self._prepare_point(point)
         rid = int(rid)
         if rid in self._tombstones:
             raise ValueError(

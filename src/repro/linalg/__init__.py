@@ -9,15 +9,27 @@ Definitions 3.2–3.5 map one-to-one onto this subpackage:
 * :func:`random_orthonormal` — the Appendix-A rotation step.
 * :mod:`~repro.linalg.kernels` — bit-exact batched distance kernels and the
   cold-LRU replay used by the batch query engine.
+* :mod:`~repro.linalg.backend` — the pluggable kernel backend (reference
+  numpy vs compiled numba) the package-level kernel names dispatch through.
 """
 
-from .kernels import (
+from .backend import (
     batch_l2_rows,
+    batch_mahalanobis_rows,
     cold_lru_physical_reads,
     flat_l2,
+    get_kernel_backend,
+    kernel_backend_info,
     multi_arange,
+    normalize_rows,
+    set_kernel_backend,
 )
-from .mahalanobis import ClusterShape, Normalization, estimate_covariance
+from .mahalanobis import (
+    ClusterShape,
+    Normalization,
+    batch_normalized_mahalanobis,
+    estimate_covariance,
+)
 from .pca import PCAModel, fit_pca, project, reconstruct, residual_norms
 from .rotation import is_orthonormal, random_orthonormal
 
@@ -26,14 +38,20 @@ __all__ = [
     "Normalization",
     "PCAModel",
     "batch_l2_rows",
+    "batch_mahalanobis_rows",
+    "batch_normalized_mahalanobis",
     "cold_lru_physical_reads",
     "estimate_covariance",
     "fit_pca",
     "flat_l2",
+    "get_kernel_backend",
     "is_orthonormal",
+    "kernel_backend_info",
     "multi_arange",
+    "normalize_rows",
     "project",
     "random_orthonormal",
     "reconstruct",
     "residual_norms",
+    "set_kernel_backend",
 ]

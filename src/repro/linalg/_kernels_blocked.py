@@ -1,0 +1,96 @@
+"""Cache-blocked pure-numpy kernels: the compiled backend's fallback.
+
+When the ``numba`` extra is not installed, the ``"numba"`` backend resolves
+to these implementations so that backend selection never fails — it merely
+stops being *compiled*.  Every function here is **bit-identical** to its
+reference twin in :mod:`repro.linalg.kernels`, which is what lets the bench
+gate's fingerprints and counters hold across backends with or without the
+compiler present.
+
+What may be blocked and what may not
+------------------------------------
+``batch_l2_rows`` and ``flat_l2`` reduce each output element over its own
+contiguous length-``d`` run, so tiling their *outer* axes to cache-sized
+blocks cannot change a single bit (see the reference module's docstring).
+``batch_mahalanobis_rows`` is different: its whitening step is a gemm, and
+BLAS picks differently-blocked (and differently-rounded, in the last ulp)
+kernels per operand shape — row-tiling the matmul is *not* bit-stable.  The
+fallback therefore reuses the reference implementation unchanged; only the
+compiled path fuses it.  ``cold_lru_physical_reads`` returns an exact
+integer either way, so the reference is reused as-is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import batch_mahalanobis_rows, cold_lru_physical_reads
+
+__all__ = [
+    "COMPILED",
+    "batch_l2_rows",
+    "flat_l2",
+    "batch_mahalanobis_rows",
+    "cold_lru_physical_reads",
+]
+
+#: Whether this module provides machine code (it does not; it is the
+#: graceful fallback the backend selects when numba is unavailable).
+COMPILED = False
+
+#: Query-axis tile: a handful of rows so the diff block stays register/L1
+#: friendly while still amortizing the Python loop.
+_TILE_Q = 64
+#: Point-axis tile: ~1k vectors keeps tile + diff block inside L2 for the
+#: dimensionalities the indexes use (d_r ≤ 64).
+_TILE_N = 1024
+#: Entry-axis budget for the flat gather (elements of the diff temporary).
+_TILE_FLAT_ELEMS = 1 << 16
+
+
+def batch_l2_rows(points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Tile-blocked twin of :func:`repro.linalg.kernels.batch_l2_rows`.
+
+    Both axes are tiled so one ``(TILE_Q, TILE_N, d)`` diff block is live
+    at a time and the point tile is reused across every query tile.  Each
+    output element's reduction still runs over its own contiguous
+    length-``d`` run, so the result is bit-identical to the reference.
+    """
+    n, d = points.shape
+    n_queries = queries.shape[0]
+    out = np.empty((n_queries, n), dtype=np.float64)
+    if n == 0 or n_queries == 0:
+        return out
+    for j0 in range(0, n, _TILE_N):
+        j1 = min(j0 + _TILE_N, n)
+        tile = points[j0:j1]
+        for i0 in range(0, n_queries, _TILE_Q):
+            i1 = min(i0 + _TILE_Q, n_queries)
+            diff = tile[None, :, :] - queries[i0:i1, None, :]
+            out[i0:i1, j0:j1] = np.linalg.norm(diff, axis=2)
+    return out
+
+
+def flat_l2(
+    points: np.ndarray,
+    positions: np.ndarray,
+    queries: np.ndarray,
+    query_of_entry: np.ndarray,
+) -> np.ndarray:
+    """Cache-tiled twin of :func:`repro.linalg.kernels.flat_l2`.
+
+    Identical gather-subtract-reduce per entry, just with an L2-cache-sized
+    entry chunk instead of the reference's 64 MiB budget; rows are
+    independent, so the result is bit-identical.
+    """
+    n = positions.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    d = points.shape[1]
+    out = np.empty(n, dtype=np.float64)
+    chunk = max(1, _TILE_FLAT_ELEMS // (2 * max(1, d)))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        diff = points[positions[lo:hi]] - queries[query_of_entry[lo:hi]]
+        out[lo:hi] = np.linalg.norm(diff, axis=1)
+    return out

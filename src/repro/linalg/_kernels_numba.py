@@ -1,0 +1,208 @@
+"""Numba-compiled fused kernels (imported only when numba is installed).
+
+These are the genuinely *compiled* implementations behind the ``"numba"``
+backend: each one collapses the reference kernel's chain of numpy
+temporaries into one fused loop nest, tiled for cache reuse, compiled with
+``@njit(cache=True)`` so the machine code persists across processes.
+
+Numerical contract: ``fastmath`` stays **off** — every accumulation is
+plain IEEE float64 in a fixed order, so results agree with the reference to
+the last few ulps (well within the 1e-9 the bench fingerprints quantize
+at), and all *logical* counters are byte-identical because counting happens
+at the call sites, never inside kernels.  ``cold_lru_physical_reads``
+returns an exact integer equal to the reference's by construction (same
+LRU policy, replayed over factorized page codes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "COMPILED",
+    "batch_l2_rows",
+    "flat_l2",
+    "batch_mahalanobis_rows",
+    "cold_lru_physical_reads",
+    "warmup",
+]
+
+COMPILED = True
+
+#: Point-axis tile reused across every query (see _batch_l2_rows_jit).
+_TILE_N = 512
+
+
+@njit(cache=True)
+def _batch_l2_rows_jit(points, queries, out):
+    n, d = points.shape
+    n_queries = queries.shape[0]
+    for j0 in range(0, n, _TILE_N):
+        j1 = min(j0 + _TILE_N, n)
+        # The point tile stays hot in cache while every query streams by.
+        for i in range(n_queries):
+            for j in range(j0, j1):
+                acc = 0.0
+                for c in range(d):
+                    diff = points[j, c] - queries[i, c]
+                    acc += diff * diff
+                out[i, j] = np.sqrt(acc)
+
+
+def batch_l2_rows(points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    out = np.empty((queries.shape[0], points.shape[0]), dtype=np.float64)
+    if points.shape[0] and queries.shape[0]:
+        _batch_l2_rows_jit(points, queries, out)
+    return out
+
+
+@njit(cache=True)
+def _flat_l2_jit(points, positions, queries, query_of_entry, out):
+    d = points.shape[1]
+    for e in range(positions.size):
+        p = positions[e]
+        q = query_of_entry[e]
+        acc = 0.0
+        for c in range(d):
+            diff = points[p, c] - queries[q, c]
+            acc += diff * diff
+        out[e] = np.sqrt(acc)
+
+
+def flat_l2(
+    points: np.ndarray,
+    positions: np.ndarray,
+    queries: np.ndarray,
+    query_of_entry: np.ndarray,
+) -> np.ndarray:
+    n = positions.size
+    out = np.empty(n, dtype=np.float64)
+    if n:
+        _flat_l2_jit(
+            points,
+            np.ascontiguousarray(positions, dtype=np.int64),
+            queries,
+            np.ascontiguousarray(query_of_entry, dtype=np.int64),
+            out,
+        )
+    return out
+
+
+@njit(cache=True)
+def _batch_mahalanobis_jit(points, centroids, chol_invs, penalties,
+                           has_penalty, out):
+    n, d = points.shape
+    k = centroids.shape[0]
+    # Whiten + norm + penalty fused per (point, cluster): no (n, d)
+    # temporaries at all.  Clusters outermost so each (d, d) factor is
+    # read once per point tile; points tiled to keep the factor resident.
+    for j in range(k):
+        pen = penalties[j] if has_penalty else 0.0
+        for i0 in range(0, n, _TILE_N):
+            i1 = min(i0 + _TILE_N, n)
+            for i in range(i0, i1):
+                acc = 0.0
+                for r in range(d):
+                    s = 0.0
+                    for c in range(d):
+                        s += chol_invs[j, r, c] * (
+                            points[i, c] - centroids[j, c]
+                        )
+                    acc += s * s
+                if has_penalty:
+                    out[i, j] = 0.5 * (pen + acc)
+                else:
+                    out[i, j] = acc
+
+
+def batch_mahalanobis_rows(points, centroids, chol_invs, penalties=None):
+    points = np.ascontiguousarray(np.atleast_2d(points), dtype=np.float64)
+    centroids = np.ascontiguousarray(centroids, dtype=np.float64)
+    chol_invs = np.ascontiguousarray(chol_invs, dtype=np.float64)
+    n = points.shape[0]
+    k = centroids.shape[0]
+    out = np.empty((n, k), dtype=np.float64)
+    if n == 0 or k == 0:
+        return out
+    has_penalty = penalties is not None
+    pen = (
+        np.ascontiguousarray(penalties, dtype=np.float64)
+        if has_penalty
+        else np.zeros(k, dtype=np.float64)
+    )
+    _batch_mahalanobis_jit(points, centroids, chol_invs, pen,
+                           has_penalty, out)
+    return out
+
+
+@njit(cache=True)
+def _lru_replay_jit(codes, n_pages, capacity):
+    # Exact LRU over factorized page codes: doubly-linked list with a
+    # sentinel at index n_pages (next of sentinel = MRU, prev = LRU).
+    # Mirrors BufferPool.read/_admit: hit moves to MRU, miss admits at MRU
+    # and evicts the LRU slot on overflow.
+    sent = n_pages
+    prev = np.empty(n_pages + 1, dtype=np.int64)
+    nxt = np.empty(n_pages + 1, dtype=np.int64)
+    resident = np.zeros(n_pages, dtype=np.bool_)
+    prev[sent] = sent
+    nxt[sent] = sent
+    size = 0
+    physical = 0
+    for idx in range(codes.size):
+        p = codes[idx]
+        if resident[p]:
+            prev[nxt[p]] = prev[p]
+            nxt[prev[p]] = nxt[p]
+        else:
+            physical += 1
+            resident[p] = True
+            size += 1
+        head = nxt[sent]
+        nxt[p] = head
+        prev[p] = sent
+        prev[head] = p
+        nxt[sent] = p
+        if size > capacity:
+            tail = prev[sent]
+            prev[sent] = prev[tail]
+            nxt[prev[tail]] = sent
+            resident[tail] = False
+            size -= 1
+    return physical
+
+
+def cold_lru_physical_reads(page_sequence: np.ndarray, capacity: int) -> int:
+    if page_sequence.size == 0:
+        return 0
+    uniques, codes = np.unique(page_sequence, return_inverse=True)
+    distinct = int(uniques.size)
+    if distinct <= capacity:
+        return distinct
+    return int(
+        _lru_replay_jit(
+            np.ascontiguousarray(codes, dtype=np.int64),
+            distinct,
+            int(capacity),
+        )
+    )
+
+
+def warmup() -> None:
+    """Force-compile every kernel on tiny inputs (CI / bench setup)."""
+    pts = np.zeros((2, 3), dtype=np.float64)
+    qs = np.ones((2, 3), dtype=np.float64)
+    batch_l2_rows(pts, qs)
+    flat_l2(
+        pts,
+        np.array([0, 1], dtype=np.int64),
+        qs,
+        np.array([0, 1], dtype=np.int64),
+    )
+    batch_mahalanobis_rows(
+        pts, qs[:1], np.eye(3, dtype=np.float64)[None, :, :],
+        np.zeros(1, dtype=np.float64),
+    )
+    batch_mahalanobis_rows(pts, qs[:1], np.eye(3)[None, :, :], None)
+    cold_lru_physical_reads(np.array([0, 1, 0, 2, 1], dtype=np.int64), 1)

@@ -21,15 +21,51 @@ broadcast buffer stays bounded.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Optional
 
 import numpy as np
 
-__all__ = ["multi_arange", "batch_l2_rows", "flat_l2", "cold_lru_physical_reads"]
+__all__ = [
+    "multi_arange",
+    "batch_l2_rows",
+    "flat_l2",
+    "batch_mahalanobis_rows",
+    "normalize_rows",
+    "cold_lru_physical_reads",
+    "require_kernel_matrix",
+]
 
 #: Cap on the number of float64 elements a broadcast diff buffer may hold
 #: (~64 MiB).  Chunking slices the *query* axis only, so each output row is
 #: still produced by one contiguous last-axis reduction — bit-identity holds.
 _MAX_BUFFER_ELEMS = 1 << 23
+
+
+def require_kernel_matrix(name: str, arr: np.ndarray) -> np.ndarray:
+    """Reject inputs the hot kernels would otherwise silently copy.
+
+    The query-path kernels used to ``ascontiguousarray`` their operands on
+    every call, which hid a per-query allocate+copy whenever a caller handed
+    over float32 or F-ordered data.  All build paths now produce C-contiguous
+    float64 once, at construction, so a non-conforming input here is a caller
+    bug — raise early (``TypeError`` for dtype, ``ValueError`` for layout)
+    instead of quietly re-paying the copy on the hot path.
+    """
+    arr = np.asarray(arr)
+    if arr.dtype != np.float64:
+        raise TypeError(
+            f"{name} must be float64, got {arr.dtype} (convert once at "
+            "construction; kernels no longer copy per call)"
+        )
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-d, got shape {arr.shape}")
+    if not arr.flags.c_contiguous:
+        raise ValueError(
+            f"{name} must be C-contiguous (F-ordered or strided views "
+            "would force a silent per-call copy; make the copy once at "
+            "construction instead)"
+        )
+    return arr
 
 
 def multi_arange(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
@@ -62,9 +98,12 @@ def batch_l2_rows(points: np.ndarray, queries: np.ndarray) -> np.ndarray:
     processed in chunks so the ``(q, n, d)`` diff buffer stays under
     ~64 MiB; chunk boundaries cannot affect bit-identity because each
     output row's reduction runs over its own contiguous length-``d`` run.
+
+    Both operands must already be C-contiguous float64 (see
+    :func:`require_kernel_matrix`).
     """
-    points = np.ascontiguousarray(points, dtype=np.float64)
-    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    points = require_kernel_matrix("points", points)
+    queries = require_kernel_matrix("queries", queries)
     n, d = points.shape
     n_queries = queries.shape[0]
     out = np.empty((n_queries, n), dtype=np.float64)
@@ -94,7 +133,12 @@ def flat_l2(
     ``(N, d)`` temporaries stay cache-friendly instead of forcing fresh
     multi-hundred-MB allocations; rows are independent, so chunk boundaries
     cannot affect bit-identity.
+
+    ``points`` and ``queries`` must already be C-contiguous float64 (see
+    :func:`require_kernel_matrix`).
     """
+    points = require_kernel_matrix("points", points)
+    queries = require_kernel_matrix("queries", queries)
     n = positions.size
     if n == 0:
         return np.empty(0, dtype=np.float64)
@@ -105,6 +149,61 @@ def flat_l2(
         hi = min(lo + chunk, n)
         diff = points[positions[lo:hi]] - queries[query_of_entry[lo:hi]]
         out[lo:hi] = np.linalg.norm(diff, axis=1)
+    return out
+
+
+def batch_mahalanobis_rows(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    chol_invs: np.ndarray,
+    penalties: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``(n, k)`` matrix of (normalized) Mahalanobis distances.
+
+    Column ``j`` is bit-identical to
+    ``ClusterShape.normalized_distance(points)`` for the shape whose
+    centroid is ``centroids[j]`` and whose inverse Cholesky factor is
+    ``chol_invs[j]``: the whitening ``(points - c) @ L_inv.T`` runs as the
+    same gemm, the squared norm as the same einsum, and the volume penalty
+    as the same scalar ``0.5 * (penalty + msq)``.  ``penalties`` is the
+    per-cluster precomputed ``d ln 2π + ln|C|`` term (``None`` means the
+    raw quadratic form, i.e. ``normalization="none"``).
+
+    This is the reference implementation of the fused kernel: the compiled
+    backend computes the same values without materializing the ``(n, d)``
+    whitened temporaries, one accumulation per (point, cluster) pair.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    k = centroids.shape[0]
+    out = np.empty((n, k), dtype=np.float64)
+    for j in range(k):
+        diff = points - centroids[j]
+        z = diff @ chol_invs[j].T
+        msq = np.einsum("ij,ij->i", z, z)
+        if penalties is None:
+            out[:, j] = msq
+        else:
+            out[:, j] = 0.5 * (penalties[j] + msq)
+    return out
+
+
+def normalize_rows(rows: np.ndarray) -> np.ndarray:
+    """Row-normalize ``(n, d)`` data to unit L2 norm; zero rows unchanged.
+
+    The cosine metric reduces to L2 on unit vectors, so the *same*
+    normalization must be applied to build data, online inserts, and
+    queries.  The per-row norm is a contiguous last-axis reduction, so
+    ``normalize_rows(Q)[i]`` is bit-identical to
+    ``normalize_rows(Q[i][None, :])[0]`` — which keeps the batched and
+    per-query paths bit-identical under cosine exactly as under L2.
+    """
+    rows = np.ascontiguousarray(np.atleast_2d(rows), dtype=np.float64)
+    norms = np.linalg.norm(rows, axis=1)
+    out = rows.copy()
+    nonzero = norms > 0.0
+    if np.any(nonzero):
+        out[nonzero] = rows[nonzero] / norms[nonzero, None]
     return out
 
 

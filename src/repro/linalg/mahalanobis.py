@@ -25,7 +25,7 @@ factor once so distance evaluation over ``n`` points is a vectorized
 from __future__ import annotations
 
 import math
-from typing import Literal, Optional
+from typing import Literal, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from ..storage.metrics import CostCounters
 __all__ = [
     "Normalization",
     "ClusterShape",
+    "batch_normalized_mahalanobis",
     "estimate_covariance",
 ]
 
@@ -166,13 +167,69 @@ class ClusterShape:
         penalty matters).
         """
         msq = self.mahalanobis_sq(points, counters=counters)
-        d = self.dimensionality
         if normalization == "none":
             return msq
+        return 0.5 * (self.volume_penalty(normalization) + msq)
+
+    def volume_penalty(self, normalization: Normalization) -> float:
+        """The scalar volume term of the normalized distance.
+
+        Factored out so the fused batch kernel can precompute one penalty
+        per cluster with *exactly* the arithmetic the per-shape path uses.
+        """
+        d = self.dimensionality
         if normalization == "gaussian":
-            penalty = d * math.log(2.0 * math.pi) + self.log_det
-        elif normalization == "paper":
-            penalty = d * (math.log(2.0 * math.pi) + self.log_det)
-        else:
-            raise ValueError(f"unknown normalization {normalization!r}")
-        return 0.5 * (penalty + msq)
+            return d * math.log(2.0 * math.pi) + self.log_det
+        if normalization == "paper":
+            return d * (math.log(2.0 * math.pi) + self.log_det)
+        raise ValueError(f"unknown normalization {normalization!r}")
+
+
+def batch_normalized_mahalanobis(
+    points: np.ndarray,
+    shapes: Sequence[ClusterShape],
+    normalization: Normalization = "gaussian",
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """``(n, k)`` normalized distances from every point to every shape.
+
+    This is the batched form of calling ``shape.normalized_distance`` once
+    per shape and stacking the columns — the hottest loop of elliptical
+    k-means — routed through the fused
+    :func:`repro.linalg.backend.batch_mahalanobis_rows` kernel.  Under the
+    reference backend each column is bit-identical to the per-shape call;
+    the compiled backend agrees to well under the fingerprints' 1e-9
+    quantum.  Counters are charged here exactly as the per-shape loop
+    charged them (``n`` distance evaluations per shape, at full ``d``),
+    so logical costs are invariant to both batching and backend.
+    """
+    from .backend import batch_mahalanobis_rows
+
+    pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    shapes = list(shapes)
+    if not shapes:
+        return np.empty((pts.shape[0], 0), dtype=np.float64)
+    d = shapes[0].dimensionality
+    if pts.shape[1] != d:
+        raise ValueError(
+            f"points have dimensionality {pts.shape[1]}, "
+            f"shapes expect {d}"
+        )
+    centroids = np.ascontiguousarray(
+        np.stack([s.centroid for s in shapes])
+    )
+    chol_invs = np.ascontiguousarray(
+        np.stack([s._chol_inv for s in shapes])
+    )
+    penalties = (
+        None
+        if normalization == "none"
+        else np.array(
+            [s.volume_penalty(normalization) for s in shapes],
+            dtype=np.float64,
+        )
+    )
+    if counters is not None:
+        for _ in shapes:
+            counters.count_distance(pts.shape[0], dims=d)
+    return batch_mahalanobis_rows(pts, centroids, chol_invs, penalties)

@@ -35,6 +35,13 @@ class ReducedDataset:
     n_points: int
     dimensionality: int
     info: Dict[str, float] = field(default_factory=dict)
+    #: Search metric the reduction was prepared for.  ``"l2"`` is the
+    #: paper's setting; ``"cosine"`` means the input rows were unit-
+    #: normalized before reduction, under which cosine distance is a
+    #: monotone function of L2 and every index searches unchanged
+    #: (DESIGN.md §13).  Indexes inherit this so they can normalize
+    #: queries and inserts the same way.
+    metric: str = "l2"
 
     def __post_init__(self) -> None:
         covered = sum(s.size for s in self.subspaces) + self.outliers.size
@@ -42,6 +49,10 @@ class ReducedDataset:
             raise ValueError(
                 f"subspaces + outliers cover {covered} points, "
                 f"dataset has {self.n_points}"
+            )
+        if self.metric not in ("l2", "cosine"):
+            raise ValueError(
+                f"metric must be 'l2' or 'cosine', got {self.metric!r}"
             )
 
     @property
@@ -119,6 +130,7 @@ def retarget_dimensionality(
         n_points=reduced.n_points,
         dimensionality=d,
         info=dict(reduced.info, retargeted_dim=float(d_r)),
+        metric=getattr(reduced, "metric", "l2"),
     )
 
 

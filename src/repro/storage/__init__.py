@@ -17,6 +17,7 @@ from .faults import (
     corrupt_page,
 )
 from .metrics import CostCounters, CostSnapshot
+from .mmap_store import MmapPageStore
 from .pager import (
     FLOAT_SIZE,
     KEY_SIZE,
@@ -53,6 +54,7 @@ __all__ = [
     "FaultPlan",
     "FaultyPageStore",
     "KEY_SIZE",
+    "MmapPageStore",
     "PAGE_SIZE",
     "POINTER_SIZE",
     "RID_SIZE",

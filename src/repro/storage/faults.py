@@ -183,11 +183,12 @@ def corrupt_page(store: PageStore, page_id: int, bit: int = 0) -> None:
     rewrite a live Python payload object.  The next checksum verification
     of the page (any buffer-pool miss) raises
     :class:`~repro.storage.pager.PageCorruptionError`.
+
+    Routed through :meth:`~repro.storage.pager.PageStore.corrupt_checksum`
+    so serializing stores (mmap) persist the flip in their metadata table
+    instead of on a transient deserialized Page.
     """
-    page = store.raw_fetch(page_id)
-    if page.checksum is None:
-        page.checksum = 0
-    page.checksum ^= 1 << (bit % 32)
+    store.corrupt_checksum(page_id, bit)
 
 
 class FaultyPageStore(PageStore):
@@ -272,6 +273,12 @@ class FaultyPageStore(PageStore):
 
     def install(self, page_id, payload, size_bytes, lsn=None) -> None:
         self.inner.install(page_id, payload, size_bytes, lsn)
+
+    def stamp_lsn(self, page_id, lsn) -> None:
+        self.inner.stamp_lsn(page_id, lsn)
+
+    def corrupt_checksum(self, page_id: int, bit: int = 0) -> None:
+        self.inner.corrupt_checksum(page_id, bit)
 
     def discard(self, page_id: int) -> None:
         self.inner.discard(page_id)

@@ -271,6 +271,30 @@ class PageStore:
         for pool in self._pools:
             pool.invalidate(page_id)
 
+    # -- metadata mutation hooks -----------------------------------------
+    #
+    # The WAL wrapper stamps LSNs and the fault injector flips checksum
+    # bits *after* a page landed.  On this in-memory store those are plain
+    # in-place mutations of the stored Page object; a serializing store
+    # (MmapPageStore) overrides them to update its metadata table instead —
+    # mutating a fetched Page there would touch a transient deserialized
+    # copy and silently persist nothing.
+
+    def stamp_lsn(self, page_id: int, lsn: Optional[int]) -> None:
+        """Record the LSN of the last logged write to ``page_id``."""
+        self.raw_fetch(page_id).lsn = lsn
+
+    def corrupt_checksum(self, page_id: int, bit: int = 0) -> None:
+        """Flip one bit of the stored checksum word (simulated bit rot).
+
+        The next checksum verification of the page (any buffer-pool miss)
+        raises :class:`PageCorruptionError`.
+        """
+        page = self.raw_fetch(page_id)
+        if page.checksum is None:
+            page.checksum = 0
+        page.checksum ^= 1 << (bit % 32)
+
     # -- recovery support ------------------------------------------------
 
     def install(

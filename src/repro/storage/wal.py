@@ -516,7 +516,7 @@ class WALPageStore(PageStore):
             raise WALProtocolError(
                 f"store allocated page {allocated}, log recorded {page_id}"
             )
-        self.inner.raw_fetch(page_id).lsn = lsn
+        self.inner.stamp_lsn(page_id, lsn)
         return page_id
 
     def overwrite(self, page_id: int, payload: Any, size_bytes: int) -> None:
@@ -529,7 +529,7 @@ class WALPageStore(PageStore):
             },
         )
         self.inner.overwrite(page_id, payload, size_bytes)
-        self.inner.raw_fetch(page_id).lsn = lsn
+        self.inner.stamp_lsn(page_id, lsn)
 
     def free(self, page_id: int) -> None:
         self._log_write(PAGE_FREE, {"page_id": page_id})
@@ -574,3 +574,9 @@ class WALPageStore(PageStore):
 
     def discard(self, page_id: int) -> None:
         self.inner.discard(page_id)
+
+    def stamp_lsn(self, page_id, lsn) -> None:
+        self.inner.stamp_lsn(page_id, lsn)
+
+    def corrupt_checksum(self, page_id: int, bit: int = 0) -> None:
+        self.inner.corrupt_checksum(page_id, bit)

@@ -1,0 +1,270 @@
+"""Kernel backend contract: selection knobs, guards, and equivalence.
+
+Three layers of guarantee, from strongest to weakest:
+
+* the blocked-numpy fallback is **bit-identical** to the reference
+  (tiling contiguous last-axis reductions cannot change a bit);
+* the compiled numba kernels agree within 1e-9 (fused arithmetic
+  reassociates, so bit-identity is not promised) — skipped when numba
+  is not installed;
+* whichever implementation the ``"numba"`` backend resolves to, the
+  bench gate's logical counters and result fingerprints are identical
+  to the ``"numpy"`` backend's, because counters are charged at call
+  sites and fingerprints quantize distances far above 1e-9.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench import WorkloadSpec, run_bench
+from repro.linalg import _kernels_blocked as blocked
+from repro.linalg import backend, kernels
+from repro.linalg.backend import (
+    KERNEL_BACKENDS,
+    get_kernel_backend,
+    kernel_backend_info,
+    set_kernel_backend,
+)
+
+try:
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:
+    HAVE_NUMBA = False
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba not installed ([fast] extra)"
+)
+
+
+@pytest.fixture
+def restore_backend():
+    previous = get_kernel_backend()
+    yield
+    set_kernel_backend(previous)
+
+
+def problem(n=2500, d=7, n_queries=130, seed=0):
+    """Sizes straddle both fallback tile boundaries (64 queries, 1024
+    points) so the blocked path exercises full and ragged tiles."""
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, d))
+    queries = rng.standard_normal((n_queries, d))
+    return points, queries
+
+
+def flat_problem(n=900, d=6, n_queries=40, n_entries=70_000, seed=1):
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, d))
+    queries = rng.standard_normal((n_queries, d))
+    positions = rng.integers(0, n, size=n_entries)
+    query_of_entry = np.sort(rng.integers(0, n_queries, size=n_entries))
+    return points, positions, queries, query_of_entry
+
+
+def mahal_problem(n=800, d=6, n_clusters=3, seed=2):
+    rng = np.random.default_rng(seed)
+    points = rng.standard_normal((n, d))
+    centroids = rng.standard_normal((n_clusters, d))
+    chol_invs = np.empty((n_clusters, d, d))
+    for c in range(n_clusters):
+        a = rng.standard_normal((d, d))
+        cov = a @ a.T + d * np.eye(d)
+        chol_invs[c] = np.linalg.inv(np.linalg.cholesky(cov))
+    penalties = rng.uniform(0.5, 1.5, size=n_clusters)
+    return points, centroids, chol_invs, penalties
+
+
+class TestBlockedBitIdentity:
+    """The graceful-degradation path may not change a single bit."""
+
+    def test_batch_l2_rows(self):
+        points, queries = problem()
+        want = kernels.batch_l2_rows(points, queries)
+        got = blocked.batch_l2_rows(points, queries)
+        assert np.array_equal(got, want)
+
+    def test_batch_l2_rows_ragged_and_empty(self):
+        for n, q in [(1, 1), (63, 65), (1025, 64), (0, 3), (3, 0)]:
+            points, queries = problem(n=n, n_queries=q)
+            want = kernels.batch_l2_rows(points, queries)
+            got = blocked.batch_l2_rows(points, queries)
+            assert got.shape == want.shape
+            assert np.array_equal(got, want)
+
+    def test_flat_l2(self):
+        args = flat_problem()
+        want = kernels.flat_l2(*args)
+        got = blocked.flat_l2(*args)
+        assert np.array_equal(got, want)
+
+    def test_reused_kernels_are_the_reference_objects(self):
+        # gemm row-tiling is not bit-stable, so the fallback must reuse
+        # the reference implementations rather than re-block them.
+        assert blocked.batch_mahalanobis_rows is kernels.batch_mahalanobis_rows
+        assert blocked.cold_lru_physical_reads is kernels.cold_lru_physical_reads
+        assert blocked.COMPILED is False
+
+
+@needs_numba
+class TestNumbaEquivalence:
+    """Compiled kernels: 1e-9 agreement, exact where integers."""
+
+    def test_batch_l2_rows(self):
+        from repro.linalg import _kernels_numba as fast
+
+        points, queries = problem()
+        want = kernels.batch_l2_rows(points, queries)
+        got = fast.batch_l2_rows(points, queries)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_flat_l2(self):
+        from repro.linalg import _kernels_numba as fast
+
+        args = flat_problem()
+        np.testing.assert_allclose(
+            fast.flat_l2(*args), kernels.flat_l2(*args), rtol=0, atol=1e-9
+        )
+
+    def test_batch_mahalanobis_rows(self):
+        from repro.linalg import _kernels_numba as fast
+
+        args = mahal_problem()
+        np.testing.assert_allclose(
+            fast.batch_mahalanobis_rows(*args),
+            kernels.batch_mahalanobis_rows(*args),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    def test_cold_lru_physical_reads_exact(self):
+        from repro.linalg import _kernels_numba as fast
+
+        rng = np.random.default_rng(5)
+        seq = rng.integers(0, 40, size=3000)
+        for capacity in (1, 3, 17, 64):
+            assert fast.cold_lru_physical_reads(
+                seq, capacity
+            ) == kernels.cold_lru_physical_reads(seq, capacity)
+
+    def test_marked_compiled(self):
+        from repro.linalg import _kernels_numba as fast
+
+        assert fast.COMPILED is True
+
+
+class TestDispatcher:
+    def test_selection_round_trip(self, restore_backend):
+        previous = set_kernel_backend("numba")
+        assert previous in KERNEL_BACKENDS
+        assert get_kernel_backend() == "numba"
+        assert set_kernel_backend("numpy") == "numba"
+        assert get_kernel_backend() == "numpy"
+
+    def test_unknown_backend_rejected(self, restore_backend):
+        before = get_kernel_backend()
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("fortran")
+        assert get_kernel_backend() == before  # failed switch is a no-op
+
+    def test_info_reports_resolution(self):
+        info = kernel_backend_info()
+        assert info["backend"] == get_kernel_backend()
+        assert info["compiled"] == HAVE_NUMBA
+        assert info["fast_module"] == (
+            "_kernels_numba" if HAVE_NUMBA else "_kernels_blocked"
+        )
+
+    def test_fast_path_agrees_with_reference(self, restore_backend):
+        """Through the public dispatcher, whatever ``"numba"`` resolves
+        to (compiled or fallback) agrees with the numpy backend."""
+        points, queries = problem(n=300, n_queries=20)
+        set_kernel_backend("numpy")
+        want = backend.batch_l2_rows(points, queries)
+        set_kernel_backend("numba")
+        got = backend.batch_l2_rows(points, queries)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+        if not HAVE_NUMBA:  # fallback path promises bit-identity
+            assert np.array_equal(got, want)
+
+    def test_fast_path_guards_dtype_and_layout(self, restore_backend):
+        set_kernel_backend("numba")
+        points, queries = problem(n=50, n_queries=4)
+        with pytest.raises(TypeError, match="float64"):
+            backend.batch_l2_rows(points.astype(np.float32), queries)
+        with pytest.raises(ValueError, match="C-contiguous"):
+            backend.batch_l2_rows(np.asfortranarray(points), queries)
+
+    def test_env_knob_selects_backend_at_import(self):
+        env = dict(os.environ, REPRO_KERNEL_BACKEND="numba")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.linalg.backend import get_kernel_backend;"
+                "print(get_kernel_backend())",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "numba"
+
+    def test_env_knob_rejects_typo_at_import(self):
+        env = dict(os.environ, REPRO_KERNEL_BACKEND="nunba")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.linalg.backend"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert out.returncode != 0
+        assert "unknown kernel backend" in out.stderr
+
+
+@pytest.mark.kernel_smoke
+class TestBenchGateAcrossBackends:
+    """The machine-independent gate (logical counters + fingerprints)
+    must not move when the backend does — that is the contract that
+    lets the compiled path ship without new baselines."""
+
+    def _tiny(self, **overrides):
+        params = dict(
+            name="backend_equiv",
+            n_points=500,
+            dimensionality=8,
+            n_clusters=2,
+            retained_dims=3,
+            n_queries=6,
+            k=5,
+            n_inserts=3,
+            n_deletes=2,
+        )
+        params.update(overrides)
+        return WorkloadSpec(**params)
+
+    def test_counters_and_fingerprints_identical(self, restore_backend):
+        set_kernel_backend("numpy")
+        ref = run_bench(self._tiny())
+        set_kernel_backend("numba")
+        fast = run_bench(self._tiny())
+        assert fast.fingerprints == ref.fingerprints
+        assert fast.counters == ref.counters
+        assert fast.spec == ref.spec
+
+    def test_holds_for_cosine_over_mmap_too(self, restore_backend):
+        spec = self._tiny(name="backend_equiv_cm", metric="cosine", store="mmap")
+        set_kernel_backend("numpy")
+        ref = run_bench(spec)
+        set_kernel_backend("numba")
+        fast = run_bench(spec)
+        assert fast.fingerprints == ref.fingerprints
+        assert fast.counters == ref.counters

@@ -24,9 +24,15 @@ from repro.recovery import (
 )
 from repro.recovery.harness import apply_op
 from repro.reduction.mmdr_adapter import MMDRReducer
+from repro.storage.mmap_store import MmapPageStore
 from repro.storage.wal import WriteAheadLog
 
 SCHEMES = [ExtendedIDistance, SequentialScan, GlobalLDRIndex]
+
+# The sweep must hold over both physical stores: recovery replays WAL
+# records through install/overwrite/stamp_lsn, which the mmap store
+# implements via its metadata table rather than in-memory Page objects.
+STORE_FACTORIES = {"memory": None, "mmap": MmapPageStore}
 
 
 @pytest.fixture(scope="module")
@@ -59,13 +65,15 @@ def fail_summary(outcomes):
 
 
 @pytest.mark.crash_smoke
+@pytest.mark.parametrize("store_kind", list(STORE_FACTORIES))
 @pytest.mark.parametrize("scheme", SCHEMES)
 def test_every_crashpoint_recovers_to_committed_prefix(
-    scheme, setting, tmp_path
+    scheme, store_kind, setting, tmp_path
 ):
     ds, reduced, ops = setting
+    factory = STORE_FACTORIES[store_kind]
     outcomes = crash_sweep(
-        lambda: scheme(reduced),
+        lambda: scheme(reduced, store_factory=factory),
         ops,
         tmp_path,
         ds.points[:4],
@@ -81,10 +89,12 @@ def test_every_crashpoint_recovers_to_committed_prefix(
     assert min(horizons) < len(ops)
 
 
-def test_uncrashed_control_replays_every_op(setting, tmp_path):
+@pytest.mark.parametrize("store_kind", list(STORE_FACTORIES))
+def test_uncrashed_control_replays_every_op(store_kind, setting, tmp_path):
     ds, reduced, ops = setting
+    factory = STORE_FACTORIES[store_kind]
     outcome = run_crashpoint(
-        lambda: ExtendedIDistance(reduced),
+        lambda: ExtendedIDistance(reduced, store_factory=factory),
         ops,
         tmp_path,
         None,

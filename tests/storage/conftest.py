@@ -1,0 +1,36 @@
+"""Shared storage-test fixtures.
+
+``make_store`` runs every test that takes it against BOTH physical page
+stores — the in-memory reference and the mmap-backed out-of-core store —
+so the whole pager/buffer/fault/WAL contract is enforced on each.  Tests
+that exercise in-memory internals (e.g. Page object aliasing) construct
+``PageStore`` directly and are intentionally not parametrized.
+"""
+
+import pytest
+
+from repro.storage.metrics import CostCounters
+from repro.storage.mmap_store import MmapPageStore
+from repro.storage.pager import PageStore
+
+
+@pytest.fixture(params=["memory", "mmap"])
+def make_store(request):
+    """Factory fixture: ``make_store(counters=None)`` -> a fresh PageStore
+    of the parametrized kind; mmap-backed stores are closed at teardown."""
+    created = []
+
+    def factory(counters: CostCounters = None) -> PageStore:
+        if request.param == "mmap":
+            store = MmapPageStore(counters)
+        else:
+            store = PageStore(counters)
+        created.append(store)
+        return store
+
+    factory.kind = request.param
+    yield factory
+    for store in created:
+        close = getattr(store, "close", None)
+        if close is not None:
+            close()

@@ -9,29 +9,39 @@ from repro.storage.metrics import CostCounters
 from repro.storage.pager import PageStore
 
 
-def make_pool(capacity=3, n_pages=10):
+def make_pool(capacity=3, n_pages=10, store_factory=PageStore):
     counters = CostCounters()
-    store = PageStore(counters)
+    store = store_factory(counters)
     pids = [store.allocate(f"payload-{i}", 8) for i in range(n_pages)]
     return BufferPool(store, capacity, counters), pids, counters
 
 
+@pytest.fixture
+def pool_factory(make_store):
+    """``make_pool`` against the parametrized store kind (memory + mmap)."""
+
+    def factory(capacity=3, n_pages=10):
+        return make_pool(capacity, n_pages, store_factory=make_store)
+
+    return factory
+
+
 class TestBasics:
-    def test_capacity_must_be_positive(self):
-        store = PageStore()
+    def test_capacity_must_be_positive(self, make_store):
+        store = make_store()
         with pytest.raises(ValueError):
             BufferPool(store, 0)
 
-    def test_first_read_misses_then_hits(self):
-        pool, pids, c = make_pool()
+    def test_first_read_misses_then_hits(self, pool_factory):
+        pool, pids, c = pool_factory()
         assert pool.read(pids[0]) == "payload-0"
         assert (c.logical_reads, c.physical_reads) == (1, 1)
         assert pool.read(pids[0]) == "payload-0"
         assert (c.logical_reads, c.physical_reads) == (2, 1)
         assert pool.hits == 1 and pool.misses == 1
 
-    def test_hit_rate(self):
-        pool, pids, _ = make_pool()
+    def test_hit_rate(self, pool_factory):
+        pool, pids, _ = pool_factory()
         assert pool.hit_rate == 0.0
         pool.read(pids[0])
         pool.read(pids[0])
@@ -39,8 +49,8 @@ class TestBasics:
 
 
 class TestEviction:
-    def test_lru_evicts_least_recent(self):
-        pool, pids, c = make_pool(capacity=2)
+    def test_lru_evicts_least_recent(self, pool_factory):
+        pool, pids, c = pool_factory(capacity=2)
         pool.read(pids[0])
         pool.read(pids[1])
         pool.read(pids[0])  # 0 is now most recent
@@ -50,42 +60,48 @@ class TestEviction:
         pool.read(pids[1])  # miss again
         assert c.physical_reads == 4
 
-    def test_capacity_never_exceeded(self):
-        pool, pids, _ = make_pool(capacity=3)
+    def test_capacity_never_exceeded(self, pool_factory):
+        pool, pids, _ = pool_factory(capacity=3)
         for pid in pids:
             pool.read(pid)
         assert len(pool) == 3
 
-    def test_invalidate_forces_reread(self):
-        pool, pids, c = make_pool()
+    def test_invalidate_forces_reread(self, pool_factory):
+        pool, pids, c = pool_factory()
         pool.read(pids[0])
         pool.invalidate(pids[0])
         pool.read(pids[0])
         assert c.physical_reads == 2
 
-    def test_clear_empties_pool(self):
-        pool, pids, _ = make_pool()
+    def test_clear_empties_pool(self, pool_factory):
+        pool, pids, _ = pool_factory()
         pool.read(pids[0])
         pool.clear()
         assert len(pool) == 0
 
 
 class TestSimulatedWorkloads:
-    def test_sequential_scan_of_large_set_misses_every_page(self):
-        pool, pids, c = make_pool(capacity=3, n_pages=10)
+    def test_sequential_scan_of_large_set_misses_every_page(
+        self, pool_factory
+    ):
+        pool, pids, c = pool_factory(capacity=3, n_pages=10)
         for _ in range(2):
             for pid in pids:
                 pool.read(pid)
         # Working set (10) exceeds capacity (3): LRU gives zero reuse.
         assert c.physical_reads == 20
 
-    def test_working_set_within_capacity_is_free_after_warmup(self):
-        pool, pids, c = make_pool(capacity=5, n_pages=4)
+    def test_working_set_within_capacity_is_free_after_warmup(
+        self, pool_factory
+    ):
+        pool, pids, c = pool_factory(capacity=5, n_pages=4)
         for _ in range(3):
             for pid in pids[:4]:
                 pool.read(pid)
         assert c.physical_reads == 4
 
+    # Memory store only: hypothesis re-runs the body many times, and a
+    # function-scoped parametrized fixture would trip its health checks.
     @settings(max_examples=25, deadline=None)
     @given(
         capacity=st.integers(min_value=1, max_value=8),

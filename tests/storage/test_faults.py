@@ -20,27 +20,27 @@ from repro.storage.pager import (
 )
 
 
-def make_store(n_pages=8):
-    store = PageStore()
+def seeded_store(store_factory=PageStore, n_pages=8):
+    store = store_factory()
     ids = [store.allocate({"n": i}, 64) for i in range(n_pages)]
     return store, ids
 
 
 class TestChecksums:
-    def test_allocate_stamps_checksum(self):
-        store, ids = make_store()
+    def test_allocate_stamps_checksum(self, make_store):
+        store, ids = seeded_store(make_store)
         page = store.fetch(ids[0])
         assert page.checksum == page_checksum(page.payload)
 
-    def test_overwrite_restamps_checksum(self):
-        store, ids = make_store()
+    def test_overwrite_restamps_checksum(self, make_store):
+        store, ids = seeded_store(make_store)
         store.overwrite(ids[0], {"n": 999}, 64)
         page = store.fetch(ids[0])
         assert page.payload == {"n": 999}
         verify_page(page)  # restamped: must pass
 
-    def test_verify_detects_mismatch(self):
-        store, ids = make_store()
+    def test_verify_detects_mismatch(self, make_store):
+        store, ids = seeded_store(make_store)
         corrupt_page(store, ids[0])
         with pytest.raises(PageCorruptionError):
             verify_page(store.fetch(ids[0]))
@@ -48,8 +48,8 @@ class TestChecksums:
     def test_verify_skips_unstamped_pages(self):
         verify_page(Page(0, {"hand": "built"}, 16))  # checksum=None: no raise
 
-    def test_corrupt_page_flips_one_bit(self):
-        store, ids = make_store()
+    def test_corrupt_page_flips_one_bit(self, make_store):
+        store, ids = seeded_store(make_store)
         original = store.fetch(ids[0]).checksum
         corrupt_page(store, ids[0], bit=3)
         assert store.fetch(ids[0]).checksum == original ^ (1 << 3)
@@ -59,29 +59,29 @@ class TestChecksums:
 
 class TestTypedPageErrors:
     def test_fetch_unknown_page(self):
-        store, _ = make_store()
+        store, _ = seeded_store()
         with pytest.raises(PageNotFoundError):
             store.fetch(999)
 
     def test_overwrite_unknown_page(self):
-        store, _ = make_store()
+        store, _ = seeded_store()
         with pytest.raises(PageNotFoundError):
             store.overwrite(999, {}, 0)
 
     def test_free_unknown_page(self):
-        store, _ = make_store()
+        store, _ = seeded_store()
         with pytest.raises(PageNotFoundError):
             store.free(999)
 
     def test_page_not_found_is_key_error(self):
         # Pre-existing callers catch bare KeyError; the subclass keeps them
         # working.
-        store, _ = make_store()
+        store, _ = seeded_store()
         with pytest.raises(KeyError):
             store.fetch(999)
 
     def test_free_invalidates_registered_pools(self):
-        store, ids = make_store()
+        store, ids = seeded_store()
         pool = BufferPool(store, 4)
         pool.read(ids[0])
         assert ids[0] in pool
@@ -91,7 +91,7 @@ class TestTypedPageErrors:
             pool.read(ids[0])
 
     def test_register_pool_deduplicates(self):
-        store, _ = make_store()
+        store, _ = seeded_store()
         pool = BufferPool(store, 4)  # __init__ registers
         store.register_pool(pool)
         assert store._pools.count(pool) == 1
@@ -112,8 +112,8 @@ class TestFaultPlan:
         assert not FaultPlan(seed=0, torn_write_prob=0.1).transient_only
 
 
-def faulty_fixture(plan, n_pages=8):
-    store, ids = make_store(n_pages)
+def faulty_fixture(plan, store_factory=PageStore, n_pages=8):
+    store, ids = seeded_store(store_factory, n_pages)
     faulty = FaultyPageStore(store, plan)
     pool = BufferPool(faulty, 4, store.counters)
     return faulty, pool, ids
@@ -137,9 +137,9 @@ class TestFaultInjection:
         assert run() == run()
         assert "fault" in run() and "ok" in run()
 
-    def test_max_faults_budget(self):
+    def test_max_faults_budget(self, make_store):
         plan = FaultPlan(seed=1, transient_read_prob=1.0, max_faults=2)
-        faulty, _, ids = faulty_fixture(plan)
+        faulty, _, ids = faulty_fixture(plan, make_store)
         failures = 0
         for page_id in ids:
             try:
@@ -159,12 +159,12 @@ class TestFaultInjection:
         assert counters["faults.injected.transient"].value == 3
         assert counters["faults.retried"].value == 3
 
-    def test_transient_fault_recovered_by_retry(self):
+    def test_transient_fault_recovered_by_retry(self, make_store):
         # repeat=2 < max_attempts=5, budget of 1: the pool must recover.
         plan = FaultPlan(
             seed=3, transient_read_prob=1.0, transient_repeat=2, max_faults=1
         )
-        faulty, pool, ids = faulty_fixture(plan)
+        faulty, pool, ids = faulty_fixture(plan, make_store)
         assert pool.read(ids[0]) == {"n": 0}
         assert faulty.fault_metrics.counter("faults.retried").value == 2
 
@@ -181,9 +181,9 @@ class TestFaultInjection:
             == pool.retry.max_attempts - 1
         )
 
-    def test_bit_flip_detected_on_miss(self):
+    def test_bit_flip_detected_on_miss(self, make_store):
         plan = FaultPlan(seed=5, bit_flip_prob=1.0, max_faults=1)
-        faulty, pool, ids = faulty_fixture(plan)
+        faulty, pool, ids = faulty_fixture(plan, make_store)
         with pytest.raises(PageCorruptionError):
             pool.read(ids[0])
         assert (
@@ -191,9 +191,9 @@ class TestFaultInjection:
             == 1
         )
 
-    def test_torn_write_detected_on_next_miss(self):
+    def test_torn_write_detected_on_next_miss(self, make_store):
         plan = FaultPlan(seed=5, torn_write_prob=1.0, max_faults=1)
-        faulty, pool, ids = faulty_fixture(plan)
+        faulty, pool, ids = faulty_fixture(plan, make_store)
         page_id = faulty.allocate({"torn": True}, 32)
         with pytest.raises(PageCorruptionError):
             pool.read(page_id)
@@ -250,13 +250,13 @@ class TestWrapperPoolForwarding:
     cached in pools after ``free``."""
 
     def test_register_pool_reaches_inner_store(self):
-        store, _ = make_store()
+        store, _ = seeded_store()
         faulty = FaultyPageStore(store, FaultPlan(seed=1))
         pool = BufferPool(faulty, 4)  # __init__ registers via the wrapper
         assert pool in store._pools
 
     def test_free_through_wrapper_invalidates_pool(self):
-        store, ids = make_store()
+        store, ids = seeded_store()
         faulty = FaultyPageStore(store, FaultPlan(seed=1))
         pool = BufferPool(faulty, 4)
         pool.read(ids[0])
@@ -269,7 +269,7 @@ class TestWrapperPoolForwarding:
     def test_pool_registered_before_wrapping_still_invalidated(self):
         # enable_faults() wraps a live index whose pool registered with
         # the bare store; frees through the wrapper must still reach it.
-        store, ids = make_store()
+        store, ids = seeded_store()
         pool = BufferPool(store, 4)
         faulty = FaultyPageStore(store, FaultPlan(seed=1))
         pool.store = faulty

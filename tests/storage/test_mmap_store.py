@@ -1,0 +1,133 @@
+"""MmapPageStore-specific behaviour (the PageStore contract itself is
+covered by the parametrized suites in test_pager/test_buffer/test_faults/
+test_wal; this file tests what only the out-of-core store does: the heap
+file, growth, ownership, pickling, and serialize-on-write semantics)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.storage.metrics import CostCounters
+from repro.storage.mmap_store import _INITIAL_CAPACITY, MmapPageStore
+from repro.storage.pager import (
+    PAGE_SIZE,
+    PageNotFoundError,
+    PageOverflowError,
+    page_checksum,
+)
+
+
+@pytest.fixture
+def store():
+    s = MmapPageStore()
+    yield s
+    s.close()
+
+
+class TestHeapFile:
+    def test_backing_file_exists_and_is_owned(self, store):
+        assert os.path.exists(store.path)
+        store.allocate({"a": 1}, 16)
+        store.flush()
+        assert os.path.getsize(store.path) >= store.heap_bytes
+
+    def test_close_removes_owned_file(self):
+        s = MmapPageStore()
+        path = s.path
+        s.close()
+        assert not os.path.exists(path)
+        s.close()  # idempotent
+
+    def test_caller_owned_path_survives_close(self, tmp_path):
+        path = tmp_path / "heap.pages"
+        s = MmapPageStore(path=path)
+        s.allocate("x", 1)
+        s.close()
+        assert path.exists()
+
+    def test_heap_grows_past_initial_capacity(self, store):
+        blob = b"x" * 3900
+        ids = [store.allocate(blob, 4000) for _ in range(400)]
+        assert store.heap_bytes > _INITIAL_CAPACITY
+        assert store.fetch(ids[0]).payload == blob
+        assert store.fetch(ids[-1]).payload == blob
+
+    def test_overwrite_appends_and_repoints(self, store):
+        pid = store.allocate({"v": 1}, 16)
+        used = store.heap_bytes
+        store.overwrite(pid, {"v": 2}, 16)
+        assert store.heap_bytes > used  # log-structured: old blob leaked
+        assert store.fetch(pid).payload == {"v": 2}
+
+
+class TestPageImageSemantics:
+    def test_fetch_returns_fresh_deserialized_page(self, store):
+        pid = store.allocate({"k": [1, 2]}, 32)
+        a = store.fetch(pid)
+        b = store.fetch(pid)
+        assert a.payload == b.payload
+        assert a.payload is not b.payload  # no aliasing: images, not objects
+
+    def test_mutating_a_fetched_payload_does_not_persist(self, store):
+        pid = store.allocate({"k": 1}, 16)
+        store.fetch(pid).payload["k"] = 999
+        assert store.fetch(pid).payload == {"k": 1}
+
+    def test_checksum_matches_reference_formula(self, store):
+        payload = {"n": 7, "v": [1.5, 2.5]}
+        pid = store.allocate(payload, 64)
+        assert store.fetch(pid).checksum == page_checksum(payload)
+
+    def test_oversized_payload_rejected(self, store):
+        with pytest.raises(PageOverflowError):
+            store.allocate("x", PAGE_SIZE + 1)
+
+    def test_metadata_hooks_hit_table_not_transient_page(self, store):
+        pid = store.allocate({"k": 1}, 16)
+        # Stamping through a fetched Page would be lost (see above); the
+        # hook must land in the metadata table instead.
+        store.stamp_lsn(pid, 5)
+        assert store.fetch(pid).lsn == 5
+        with pytest.raises(PageNotFoundError):
+            store.stamp_lsn(99, 5)
+        with pytest.raises(PageNotFoundError):
+            store.corrupt_checksum(99)
+
+
+class TestPickling:
+    def test_round_trip_preserves_pages_and_ids(self, store):
+        pid = store.allocate({"v": 1}, 16)
+        store.stamp_lsn(pid, 42)
+        store.install(9, "redo", 4, lsn=7)
+        clone = pickle.loads(pickle.dumps(store))
+        try:
+            assert clone.fetch(pid).payload == {"v": 1}
+            assert clone.fetch(pid).lsn == 42
+            assert clone.fetch(9).payload == "redo"
+            assert clone.next_page_id == store.next_page_id
+            assert clone.path != store.path  # fresh heap, not a shared file
+        finally:
+            clone.close()
+
+    def test_round_trip_compacts_leaked_blobs(self, store):
+        pid = store.allocate({"v": 0}, 16)
+        for i in range(1, 50):
+            store.overwrite(pid, {"v": i}, 16)
+        clone = pickle.loads(pickle.dumps(store))
+        try:
+            assert clone.fetch(pid).payload == {"v": 49}
+            assert clone.heap_bytes < store.heap_bytes
+        finally:
+            clone.close()
+
+    def test_counters_ride_along(self):
+        counters = CostCounters()
+        s = MmapPageStore(counters)
+        s.allocate("x", 1)
+        clone = pickle.loads(pickle.dumps(s))
+        try:
+            assert clone.counters.page_writes == 1
+        finally:
+            clone.close()
+            s.close()

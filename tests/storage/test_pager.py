@@ -57,50 +57,52 @@ class TestPage:
 
 
 class TestPageStore:
-    def test_allocate_returns_distinct_ids(self):
-        store = PageStore()
+    """Contract tests, run against both physical stores (see conftest)."""
+
+    def test_allocate_returns_distinct_ids(self, make_store):
+        store = make_store()
         ids = [store.allocate(i, 10) for i in range(5)]
         assert len(set(ids)) == 5
         assert len(store) == 5
 
-    def test_allocate_counts_write(self):
-        store = PageStore()
+    def test_allocate_counts_write(self, make_store):
+        store = make_store()
         store.allocate("a", 10)
         assert store.counters.page_writes == 1
 
-    def test_fetch_returns_payload_without_read_accounting(self):
-        store = PageStore()
+    def test_fetch_returns_payload_without_read_accounting(self, make_store):
+        store = make_store()
         pid = store.allocate({"k": 1}, 10)
         page = store.fetch(pid)
         assert page.payload == {"k": 1}
         assert store.counters.logical_reads == 0
         assert store.counters.physical_reads == 0
 
-    def test_fetch_unknown_page_raises(self):
-        store = PageStore()
+    def test_fetch_unknown_page_raises(self, make_store):
+        store = make_store()
         with pytest.raises(KeyError):
             store.fetch(99)
 
-    def test_read_sequential_counts(self):
-        store = PageStore()
+    def test_read_sequential_counts(self, make_store):
+        store = make_store()
         pid = store.allocate("x", 1)
         store.read_sequential(pid)
         assert store.counters.sequential_reads == 1
 
-    def test_overwrite_replaces_payload_and_counts(self):
-        store = PageStore()
+    def test_overwrite_replaces_payload_and_counts(self, make_store):
+        store = make_store()
         pid = store.allocate("old", 5)
         store.overwrite(pid, "new", 7)
         assert store.fetch(pid).payload == "new"
         assert store.counters.page_writes == 2
 
-    def test_overwrite_unknown_page_raises(self):
-        store = PageStore()
+    def test_overwrite_unknown_page_raises(self, make_store):
+        store = make_store()
         with pytest.raises(KeyError):
             store.overwrite(3, "x", 1)
 
-    def test_free_releases_page(self):
-        store = PageStore()
+    def test_free_releases_page(self, make_store):
+        store = make_store()
         pid = store.allocate("x", 1)
         store.free(pid)
         assert pid not in store
@@ -108,9 +110,40 @@ class TestPageStore:
         with pytest.raises(KeyError):
             store.free(pid)
 
-    def test_freed_ids_are_not_reused(self):
-        store = PageStore()
+    def test_freed_ids_are_not_reused(self, make_store):
+        store = make_store()
         first = store.allocate("a", 1)
         store.free(first)
         second = store.allocate("b", 1)
         assert second != first
+
+    def test_install_places_specific_id_and_advances_counter(
+        self, make_store
+    ):
+        store = make_store()
+        store.install(7, "redo", 4, lsn=3)
+        page = store.fetch(7)
+        assert page.payload == "redo"
+        assert page.lsn == 3
+        assert store.next_page_id == 8
+        assert store.allocate("next", 1) == 8
+
+    def test_stamp_lsn_persists(self, make_store):
+        store = make_store()
+        pid = store.allocate("x", 1)
+        assert store.fetch(pid).lsn is None
+        store.stamp_lsn(pid, 11)
+        assert store.fetch(pid).lsn == 11
+
+    def test_corrupt_checksum_detected_on_verify(self, make_store):
+        from repro.storage.pager import PageCorruptionError, verify_page
+
+        store = make_store()
+        pid = store.allocate({"k": 1}, 10)
+        verify_page(store.fetch(pid))
+        store.corrupt_checksum(pid)
+        with pytest.raises(PageCorruptionError):
+            verify_page(store.fetch(pid))
+        # A second flip of the same bit restores the stored checksum.
+        store.corrupt_checksum(pid)
+        verify_page(store.fetch(pid))

@@ -173,9 +173,15 @@ class TestCheckpoint:
 
 
 class TestWALPageStore:
-    def _stack(self, wal):
+    # Every test takes make_store: the WAL wrapper must behave identically
+    # over the in-memory and the mmap-backed store (LSN stamping goes
+    # through the stamp_lsn hook, which serializing stores override).
+    def _stack(self, wal, make_store=None):
         counters = CostCounters()
-        inner = PageStore(counters)
+        inner = (
+            make_store(counters) if make_store is not None
+            else PageStore(counters)
+        )
         return inner, WALPageStore(inner, wal)
 
     def test_mutation_outside_txn_raises(self, wal):
@@ -183,8 +189,8 @@ class TestWALPageStore:
         with pytest.raises(WALProtocolError, match="outside"):
             store.allocate("payload", 10)
 
-    def test_log_before_write_order_and_lsn_stamp(self, wal):
-        inner, store = self._stack(wal)
+    def test_log_before_write_order_and_lsn_stamp(self, wal, make_store):
+        inner, store = self._stack(wal, make_store)
         with wal.transaction("insert"):
             pid = store.allocate({"v": 1}, 16)
             store.overwrite(pid, {"v": 2}, 16)
@@ -198,16 +204,16 @@ class TestWALPageStore:
         assert inner.raw_fetch(pid).lsn == records[2].lsn
         assert store.physical_writes == 2
 
-    def test_free_is_logged_and_applied(self, wal):
-        inner, store = self._stack(wal)
+    def test_free_is_logged_and_applied(self, wal, make_store):
+        inner, store = self._stack(wal, make_store)
         with wal.transaction("delete"):
             pid = store.allocate({"v": 1}, 16)
             store.free(pid)
         assert pid not in inner
         assert PAGE_FREE in [r.rtype for r in wal.records()]
 
-    def test_register_pool_forwards_to_inner(self, wal):
-        inner, store = self._stack(wal)
+    def test_register_pool_forwards_to_inner(self, wal, make_store):
+        inner, store = self._stack(wal, make_store)
         pool = BufferPool(store, 4, inner.counters)
         store.register_pool(pool)
         with wal.transaction("insert"):
@@ -230,8 +236,8 @@ class TestWALPageStore:
         assert len(wal.records()) == n_records
 
     @pytest.mark.parametrize("phase", ["before_log", "after_log"])
-    def test_crashpoint_fires_at_exact_write(self, wal, phase):
-        inner, _ = self._stack(wal)
+    def test_crashpoint_fires_at_exact_write(self, wal, phase, make_store):
+        inner, _ = self._stack(wal, make_store)
         store = WALPageStore(
             inner, wal, crashpoint=CrashPoint(at_write=2, phase=phase)
         )
