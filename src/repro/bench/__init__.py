@@ -39,6 +39,7 @@ from .report import (
     BenchReport,
     BenchReportError,
     recovery_view,
+    serve_view,
     throughput_view,
     validate_view,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "recovery_view",
     "result_fingerprint",
     "run_bench",
+    "serve_view",
     "throughput_view",
     "validate_view",
 ]

@@ -44,8 +44,10 @@ __all__ = [
     "BenchReportError",
     "THROUGHPUT_VIEW_KEYS",
     "RECOVERY_VIEW_KEYS",
+    "SERVE_VIEW_KEYS",
     "throughput_view",
     "recovery_view",
+    "serve_view",
     "validate_view",
 ]
 
@@ -206,9 +208,22 @@ RECOVERY_VIEW_KEYS = (
     "records_replayed_after_checkpoint",
 )
 
+#: BENCH_serve.json keys (logical serve counts + advisory latencies).
+SERVE_VIEW_KEYS = (
+    "n_shards",
+    "n_requests",
+    "n_partial",
+    "respawns",
+    "retries",
+    "qps",
+    "p50_ms",
+    "p99_ms",
+)
+
 _VIEW_KEYS = {
     "throughput": THROUGHPUT_VIEW_KEYS,
     "recovery": RECOVERY_VIEW_KEYS,
+    "serve": SERVE_VIEW_KEYS,
 }
 
 
@@ -230,6 +245,11 @@ def throughput_view(report: BenchReport) -> dict:
 def recovery_view(report: BenchReport) -> dict:
     """The flat ``BENCH_recovery.json`` dict, drawn from a report."""
     return _extract_view(report, RECOVERY_VIEW_KEYS)
+
+
+def serve_view(report: BenchReport) -> dict:
+    """The flat ``BENCH_serve.json`` dict, drawn from a report."""
+    return _extract_view(report, SERVE_VIEW_KEYS)
 
 
 def validate_view(kind: str, data: object) -> None:

@@ -1,0 +1,112 @@
+"""Per-shard circuit breaker: closed → open → half-open → closed.
+
+A shard that keeps failing should stop costing every request a full
+deadline + retry ladder.  The breaker watches consecutive failures
+(request failures and heartbeat failures feed the same breaker) and trips
+OPEN at a threshold; while OPEN the router routes around the shard
+instantly.  After a cooldown the breaker admits exactly one probe
+(HALF_OPEN); a successful probe closes it, a failed one re-opens it with a
+fresh cooldown.
+
+The clock is injectable so tests drive the OPEN → HALF_OPEN transition
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single-probe half-open state.
+
+    Not thread-safe by itself; the router holds its per-shard lock around
+    every interaction with a shard, which covers the breaker too.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[BreakerState, BreakerState], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        #: True while the single half-open probe is outstanding.
+        self._probe_inflight = False
+
+    def _transition(self, new: BreakerState) -> None:
+        old = self.state
+        if old is new:
+            return
+        self.state = new
+        if self._on_transition is not None:
+            self._on_transition(old, new)
+
+    def allow_request(self) -> bool:
+        """May the caller contact the shard right now?
+
+        OPEN past its cooldown flips to HALF_OPEN and admits one probe;
+        OPEN within the cooldown (or HALF_OPEN with the probe already out)
+        refuses.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if (
+                self._opened_at is not None
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                self._transition(BreakerState.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            return False
+        # HALF_OPEN: exactly one probe at a time.
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: back to OPEN with a fresh cooldown.
+            self._probe_inflight = False
+            self._opened_at = self._clock()
+            self._transition(BreakerState.OPEN)
+            return
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition(BreakerState.OPEN)

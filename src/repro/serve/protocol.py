@@ -1,0 +1,177 @@
+"""Length-prefixed, CRC-framed message protocol between router and workers.
+
+One frame on the wire::
+
+    +-------+-------------+-------+---------+
+    | magic | payload_len | crc32 | payload |
+    | 4s    | u32         | u32   | bytes   |
+    +-------+-------------+-------+---------+
+
+``crc32`` covers the payload (the pickled message dict), so a garbled
+response — a worker writing junk, a fault injector flipping bits — is
+*detected* as :class:`GarbledFrameError` rather than deserialized into a
+wrong answer; because the frame length is still intact the stream stays in
+sync and the next frame is readable, which is what makes the router's
+retry rung meaningful.  A bad magic means the stream itself is lost
+(:class:`ConnectionLostError`): there is no resynchronization point, so
+the only recovery is a fresh worker.
+
+Messages are dicts with an ``"op"`` key (``knn``, ``ping``, ``shutdown``
+and their responses).  numpy arrays ride along pickled; within one machine
+(router and workers are forked from one process) equal state pickles to
+equal bytes, the same property the page checksums rely on.
+
+:class:`FrameReader` buffers partial reads across socket timeouts — a
+deadline can expire mid-frame, and the half-read bytes must survive into
+the retry or the next request would start misaligned.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any, Optional
+
+__all__ = [
+    "MAGIC",
+    "ServeError",
+    "ProtocolError",
+    "GarbledFrameError",
+    "ConnectionLostError",
+    "encode_frame",
+    "garble_frame",
+    "send_message",
+    "FrameReader",
+]
+
+#: Frame magic: cheap stream-alignment check ahead of the CRC.
+MAGIC = b"SRV1"
+
+_HEADER = struct.Struct("<4sII")
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ProtocolError(ServeError):
+    """A message violated the protocol contract (caller bug, never
+    recoverable at runtime): unknown op, reply without a request, a frame
+    larger than the declared cap."""
+
+
+class GarbledFrameError(ServeError):
+    """A frame's payload failed its CRC: the stream is still aligned (the
+    length prefix was intact) but this message is lost.  Retriable — the
+    router's retry rung resends the request."""
+
+
+class ConnectionLostError(ServeError):
+    """The stream ended (EOF, reset) or lost alignment (bad magic).  Not
+    retriable on this connection — the worker must be respawned."""
+
+
+def encode_frame(message: Any) -> bytes:
+    """Frame one message for the wire."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, len(body), crc) + body
+
+
+def garble_frame(frame: bytes) -> bytes:
+    """Flip one payload bit of an encoded frame (fault injection).
+
+    The length prefix stays intact so the receiving stream keeps its
+    alignment; the CRC check fails, which is exactly the failure mode
+    :class:`GarbledFrameError` models.
+    """
+    if len(frame) <= _HEADER.size:
+        raise ValueError("frame has no payload to garble")
+    corrupted = bytearray(frame)
+    corrupted[_HEADER.size] ^= 0x01
+    return bytes(corrupted)
+
+
+def send_message(sock: socket.socket, message: Any) -> None:
+    """Frame and send one message (blocking, whole frame)."""
+    try:
+        sock.sendall(encode_frame(message))
+    except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+        raise ConnectionLostError(f"send failed: {exc}") from exc
+
+
+class FrameReader:
+    """Buffered frame reader that survives timeouts mid-frame."""
+
+    #: Refuse absurd frames (a corrupted length prefix could otherwise ask
+    #: for gigabytes).  64 MiB comfortably fits any workload this
+    #: reproduction ships between processes.
+    MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = bytearray()
+
+    def _fill(self, needed: int, timeout: Optional[float]) -> None:
+        """Grow the buffer to ``needed`` bytes or raise.
+
+        ``timeout`` is the *total* budget for this call; ``None`` blocks.
+        Raises ``socket.timeout`` with the partial bytes kept buffered, or
+        :class:`ConnectionLostError` on EOF.
+        """
+        import time as _time
+
+        deadline = (
+            _time.monotonic() + timeout if timeout is not None else None
+        )
+        while len(self._buffer) < needed:
+            if deadline is not None:
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout("frame read timed out")
+                self.sock.settimeout(remaining)
+            else:
+                self.sock.settimeout(None)
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                raise
+            except (ConnectionResetError, OSError) as exc:
+                raise ConnectionLostError(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionLostError("connection closed by peer")
+            self._buffer.extend(chunk)
+
+    def read_message(self, timeout: Optional[float] = None) -> Any:
+        """Read one message; raises ``socket.timeout`` /
+        :class:`GarbledFrameError` / :class:`ConnectionLostError`."""
+        self._fill(_HEADER.size, timeout)
+        magic, length, crc = _HEADER.unpack_from(self._buffer, 0)
+        if magic != MAGIC:
+            raise ConnectionLostError(
+                f"stream lost alignment (magic {magic!r})"
+            )
+        if length > self.MAX_FRAME_BYTES:
+            raise ConnectionLostError(
+                f"frame declares {length} bytes (cap "
+                f"{self.MAX_FRAME_BYTES}); stream considered corrupt"
+            )
+        self._fill(_HEADER.size + length, timeout)
+        body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+        # Consume the frame *before* CRC verification: a garbled frame is
+        # dropped, the stream stays readable.
+        del self._buffer[: _HEADER.size + length]
+        actual = zlib.crc32(body) & 0xFFFFFFFF
+        if actual != crc:
+            raise GarbledFrameError(
+                f"frame payload failed CRC (stored 0x{crc:08x}, "
+                f"computed 0x{actual:08x})"
+            )
+        try:
+            return pickle.loads(body)
+        except Exception as exc:  # CRC collision on garbage
+            raise GarbledFrameError(
+                f"frame payload failed to deserialize: {exc}"
+            ) from exc

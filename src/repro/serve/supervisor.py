@@ -1,0 +1,206 @@
+"""Builds, checkpoints, and keeps alive one worker process per shard.
+
+``prepare()`` turns a :class:`~repro.serve.planner.ShardPlan` into on-disk
+shard state: each shard's index is built from its local reduction, put
+under write-ahead logging, and checkpointed (snapshot + truncated WAL)
+into ``<root>/shard_<id>/``, alongside the shard's ``rid_map.npy``.  The
+supervisor then *never ships a live index to a worker*: every spawn —
+first boot and post-crash respawn alike — rebuilds from checkpoint + WAL
+via :func:`repro.recovery.recover`, so the recovery path is exercised on
+every process start, not just after disasters.
+
+Workers are forked (one socketpair each); fork is required — the spawn
+start method would re-import and re-pickle, and the platforms this
+repository targets in CI all provide fork.  ``respawn()`` is the router's
+rung for dead or hung workers: SIGKILL whatever is left, fork a fresh
+process from the same durable state.
+
+Fault specs (:class:`~repro.serve.faults.WorkerFaultSpec`) are handed to
+the worker at spawn; a non-``persistent`` spec is consumed by the first
+spawn, so a respawned worker comes back clean (recovery scenarios), while
+a ``persistent`` spec re-arms every life (route-around scenarios).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from ..bench.spec import INDEX_SCHEMES
+from ..recovery import checkpoint
+from ..storage.mmap_store import MmapPageStore
+from .faults import WorkerFaultSpec
+from .planner import ShardPlan
+from .protocol import FrameReader, send_message
+from .worker import RID_MAP_NAME, SNAPSHOT_NAME, WAL_NAME, worker_main
+
+__all__ = ["WorkerHandle", "Supervisor"]
+
+
+@dataclass
+class WorkerHandle:
+    """The parent's view of one live worker: process + framed channel."""
+
+    process: multiprocessing.process.BaseProcess
+    sock: socket.socket
+    reader: FrameReader
+    generation: int
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise RuntimeError(
+            "the serving layer requires the fork start method"
+        ) from exc
+
+
+class Supervisor:
+    """Owns shard state on disk and the worker process per shard."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        scheme: str,
+        root: Union[str, Path],
+        store: str = "memory",
+    ) -> None:
+        if scheme not in INDEX_SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; expected one of "
+                f"{sorted(INDEX_SCHEMES)}"
+            )
+        if store not in ("memory", "mmap"):
+            raise ValueError(
+                f"store must be 'memory' or 'mmap', got {store!r}"
+            )
+        self.plan = plan
+        self.scheme = scheme
+        self.root = Path(root)
+        self.store = store
+        self.workers: Dict[int, WorkerHandle] = {}
+        self.spawn_counts: Dict[int, int] = {}
+        self._fault_specs: Dict[int, WorkerFaultSpec] = {}
+        self._ctx = _fork_context()
+        self._prepared = False
+
+    # -- shard state on disk --------------------------------------------
+
+    def shard_dir(self, shard_id: int) -> Path:
+        return self.root / f"shard_{shard_id}"
+
+    @property
+    def shard_ids(self):
+        return [a.shard_id for a in self.plan.shards]
+
+    def prepare(self) -> None:
+        """Build + checkpoint every shard's index into its directory."""
+        factory: Optional[Callable] = (
+            MmapPageStore if self.store == "mmap" else None
+        )
+        build = INDEX_SCHEMES[self.scheme]
+        for assignment in self.plan.shards:
+            sdir = self.shard_dir(assignment.shard_id)
+            sdir.mkdir(parents=True, exist_ok=True)
+            index = build(assignment.reduced, store_factory=factory)
+            index.enable_wal(sdir / WAL_NAME)
+            checkpoint(index, sdir / SNAPSHOT_NAME)
+            wal_store = index.disable_wal()
+            wal_store.wal.close()
+            # Release the build-time physical store (mmap file handles);
+            # workers rehydrate their own from the snapshot.
+            index.store.close()
+            np.save(sdir / RID_MAP_NAME, assignment.rid_map)
+        self._prepared = True
+
+    # -- fault injection -------------------------------------------------
+
+    def set_fault_spec(self, shard_id: int, spec: WorkerFaultSpec) -> None:
+        """Arm a fault spec for ``shard_id``'s *next* spawn (call before
+        :meth:`start`).  Non-persistent specs are consumed by that spawn."""
+        self._fault_specs[shard_id] = spec
+
+    # -- process lifecycle ----------------------------------------------
+
+    def start(self) -> None:
+        if not self._prepared:
+            self.prepare()
+        for shard_id in self.shard_ids:
+            self.spawn(shard_id)
+
+    def spawn(self, shard_id: int) -> WorkerHandle:
+        if shard_id in self.workers:
+            raise RuntimeError(
+                f"shard {shard_id} already has a live worker; use respawn"
+            )
+        generation = self.spawn_counts.get(shard_id, 0)
+        spec = self._fault_specs.get(shard_id)
+        if spec is not None and generation > 0 and not spec.persistent:
+            del self._fault_specs[shard_id]
+            spec = None
+        parent_sock, child_sock = socket.socketpair()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, shard_id, str(self.shard_dir(shard_id)), spec),
+            daemon=True,
+        )
+        process.start()
+        # The parent's copy of the child end must close, or a dead worker
+        # would never surface as EOF on the parent's socket.
+        child_sock.close()
+        handle = WorkerHandle(
+            process=process,
+            sock=parent_sock,
+            reader=FrameReader(parent_sock),
+            generation=generation,
+        )
+        self.workers[shard_id] = handle
+        self.spawn_counts[shard_id] = generation + 1
+        return handle
+
+    def handle(self, shard_id: int) -> WorkerHandle:
+        try:
+            return self.workers[shard_id]
+        except KeyError:
+            raise RuntimeError(
+                f"shard {shard_id} has no live worker (not started?)"
+            ) from None
+
+    def alive(self, shard_id: int) -> bool:
+        handle = self.workers.get(shard_id)
+        return handle is not None and handle.process.is_alive()
+
+    def _reap(self, handle: WorkerHandle, graceful: bool) -> None:
+        if graceful and handle.process.is_alive():
+            try:
+                send_message(handle.sock, {"op": "shutdown"})
+            except Exception:
+                pass
+            handle.process.join(timeout=1.0)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        try:
+            handle.sock.close()
+        except OSError:
+            pass
+
+    def respawn(self, shard_id: int) -> WorkerHandle:
+        """Kill whatever is left of a shard's worker and fork a fresh one
+        from the shard's durable checkpoint + WAL."""
+        handle = self.workers.pop(shard_id, None)
+        if handle is not None:
+            self._reap(handle, graceful=False)
+        return self.spawn(shard_id)
+
+    def stop(self) -> None:
+        """Shut every worker down (graceful first, SIGKILL after 1 s)."""
+        for shard_id in list(self.workers):
+            handle = self.workers.pop(shard_id)
+            self._reap(handle, graceful=True)

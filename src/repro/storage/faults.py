@@ -285,6 +285,12 @@ class FaultyPageStore(PageStore):
         self._pending_transient.pop(page_id, None)
         self._flipped.discard(page_id)
 
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
     def raw_fetch(self, page_id: int) -> Page:
         """Fault-free fetch (accounting replay / build internals)."""
         return self.inner.raw_fetch(page_id)

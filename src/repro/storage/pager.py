@@ -295,6 +295,24 @@ class PageStore:
             page.checksum = 0
         page.checksum ^= 1 << (bit % 32)
 
+    # -- lifecycle -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered writes to the backing medium.
+
+        A no-op for the in-memory store; :class:`~repro.storage.mmap_store.
+        MmapPageStore` overrides it.  Part of the PageStore protocol so
+        wrappers can forward it blindly.
+        """
+
+    def close(self) -> None:
+        """Release backing resources (files, mappings).
+
+        A no-op for the in-memory store; serializing stores override it.
+        Wrappers forward to their inner store, so ``store.close()`` always
+        reaches the physical layer no matter how deep the stack is.
+        """
+
     # -- recovery support ------------------------------------------------
 
     def install(

@@ -580,3 +580,9 @@ class WALPageStore(PageStore):
 
     def corrupt_checksum(self, page_id: int, bit: int = 0) -> None:
         self.inner.corrupt_checksum(page_id, bit)
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,124 @@
+"""Self-healing harness ladder over the mmap-backed page store.
+
+PR 3's degradation ladder (retry on a fresh pool -> in-process
+sequential execution) was only exercised against the in-memory heap
+store.  The mmap store adds real failure surface: forked workers
+inherit the parent's file mapping, and the in-process fallback must
+read through the very same mapping after its forked siblings died
+mid-request.  Every rung must still return bit-identical answers and
+per-query accounting.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mmdr import MMDR
+from repro.data.workload import sample_queries
+from repro.eval.harness import run_query_batch, run_workload
+from repro.index.seqscan import SequentialScan
+from repro.obs.tracer import Tracer
+from repro.reduction.mmdr_adapter import model_to_reduced
+from repro.storage.mmap_store import MmapPageStore
+
+from .test_harness_robustness import (
+    SabotagedIndex,
+    assert_complete_and_identical,
+    reference,
+)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="sabotage requires fork workers (COW state, killable pids)",
+)
+
+
+@pytest.fixture(scope="module")
+def reduced(two_cluster_dataset):
+    model = MMDR().fit(two_cluster_dataset.points, np.random.default_rng(5))
+    return model_to_reduced(model)
+
+
+@pytest.fixture(scope="module")
+def workload(two_cluster_dataset):
+    return sample_queries(
+        two_cluster_dataset.points,
+        12,
+        np.random.default_rng(9),
+        k=6,
+        method="perturbed",
+    )
+
+
+def mmap_index(reduced):
+    return SequentialScan(reduced, store_factory=MmapPageStore)
+
+
+@fork_only
+class TestMmapDegradationLadder:
+    def test_killed_worker_recovers_on_retry(
+        self, reduced, workload, tmp_path
+    ):
+        ref = reference(mmap_index(reduced), workload)
+        index = SabotagedIndex(
+            mmap_index(reduced), "kill_once", tmp_path / "killed"
+        )
+        tracer = Tracer()
+        got = run_workload(index, workload, workers=2, tracer=tracer)
+        assert_complete_and_identical(ref, got)
+        counters = tracer.metrics.counters
+        assert counters["harness.worker_failures"].value > 0
+        assert counters["harness.chunk_retries"].value > 0
+        assert "harness.degraded_chunks" not in counters
+
+    def test_persistent_kills_degrade_to_in_process(self, reduced, workload):
+        ref = reference(mmap_index(reduced), workload)
+        index = SabotagedIndex(mmap_index(reduced), "kill_always")
+        tracer = Tracer()
+        got = run_workload(index, workload, workers=2, tracer=tracer)
+        assert_complete_and_identical(ref, got)
+        counters = tracer.metrics.counters
+        assert counters["harness.worker_failures"].value > 0
+        assert counters["harness.degraded_chunks"].value == 2
+
+    def test_hung_worker_times_out_and_degrades(self, reduced, workload):
+        ref = reference(mmap_index(reduced), workload)
+        index = SabotagedIndex(mmap_index(reduced), "hang")
+        tracer = Tracer()
+        start = time.perf_counter()
+        got = run_workload(
+            index, workload, workers=2, tracer=tracer, worker_timeout_s=1.0
+        )
+        elapsed = time.perf_counter() - start
+        assert_complete_and_identical(ref, got)
+        assert elapsed < 60
+        assert tracer.metrics.counters["harness.degraded_chunks"].value == 2
+
+    def test_run_query_batch_survives_kills(self, reduced, workload):
+        clean_cost = run_query_batch(
+            mmap_index(reduced), workload, workers=2, use_batch=True
+        )
+        index = SabotagedIndex(mmap_index(reduced), "kill_always")
+        cost = run_query_batch(index, workload, workers=2, use_batch=True)
+        assert cost.mean_page_reads == clean_cost.mean_page_reads
+        assert cost.n_queries == clean_cost.n_queries
+
+
+class TestMmapHealthyPath:
+    def test_no_failures_records_no_ladder_metrics(self, reduced, workload):
+        tracer = Tracer()
+        ref = reference(mmap_index(reduced), workload)
+        got = run_workload(
+            mmap_index(reduced),
+            workload,
+            workers=2,
+            tracer=tracer,
+            worker_timeout_s=120.0,
+        )
+        assert_complete_and_identical(ref, got)
+        counters = tracer.metrics.counters
+        assert "harness.worker_failures" not in counters
+        assert "harness.chunk_retries" not in counters
+        assert "harness.degraded_chunks" not in counters

@@ -1,0 +1,117 @@
+"""Circuit-breaker state machine under an injectable clock."""
+
+import pytest
+
+from repro.serve.breaker import BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make(clock, threshold=3, cooldown=10.0, transitions=None):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_s=cooldown,
+        clock=clock,
+        on_transition=(
+            (lambda old, new: transitions.append((old, new)))
+            if transitions is not None
+            else None
+        ),
+    )
+
+
+def test_stays_closed_below_threshold(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow_request()
+
+
+def test_success_resets_consecutive_count(clock):
+    breaker = make(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_trips_open_at_threshold_and_refuses(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow_request()
+
+
+def test_half_open_after_cooldown_admits_one_probe(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow_request()  # the probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow_request()  # second caller refused
+
+
+def test_probe_success_closes(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow_request()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow_request()
+
+
+def test_probe_failure_reopens_with_fresh_cooldown(clock):
+    breaker = make(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow_request()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    clock.advance(9.9)
+    assert not breaker.allow_request()
+    clock.advance(0.2)
+    assert breaker.allow_request()
+
+
+def test_transition_callback_sees_full_cycle(clock):
+    transitions = []
+    breaker = make(clock, transitions=transitions)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(10.0)
+    breaker.allow_request()
+    breaker.record_success()
+    assert transitions == [
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1)

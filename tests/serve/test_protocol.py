@@ -1,0 +1,99 @@
+"""Framing contract: CRC detection, stream alignment, partial reads."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    MAGIC,
+    ConnectionLostError,
+    FrameReader,
+    GarbledFrameError,
+    encode_frame,
+    garble_frame,
+    send_message,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_round_trip_preserves_arrays(pair):
+    a, b = pair
+    message = {
+        "op": "knn",
+        "ids": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "distances": np.linspace(0, 1, 12).reshape(3, 4),
+    }
+    send_message(a, message)
+    got = FrameReader(b).read_message(timeout=1.0)
+    assert got["op"] == "knn"
+    np.testing.assert_array_equal(got["ids"], message["ids"])
+    np.testing.assert_array_equal(got["distances"], message["distances"])
+
+
+def test_garbled_frame_detected_and_stream_stays_aligned(pair):
+    a, b = pair
+    reader = FrameReader(b)
+    a.sendall(garble_frame(encode_frame({"n": 1})))
+    send_message(a, {"n": 2})
+    with pytest.raises(GarbledFrameError):
+        reader.read_message(timeout=1.0)
+    # The bad frame was consumed whole; the next one reads clean.
+    assert reader.read_message(timeout=1.0) == {"n": 2}
+
+
+def test_eof_raises_connection_lost(pair):
+    a, b = pair
+    a.close()
+    with pytest.raises(ConnectionLostError):
+        FrameReader(b).read_message(timeout=1.0)
+
+
+def test_bad_magic_is_connection_lost_not_garble(pair):
+    a, b = pair
+    frame = bytearray(encode_frame({"n": 1}))
+    frame[:4] = b"XXXX"
+    a.sendall(bytes(frame))
+    with pytest.raises(ConnectionLostError):
+        FrameReader(b).read_message(timeout=1.0)
+
+
+def test_absurd_length_prefix_rejected(pair):
+    a, b = pair
+    frame = bytearray(encode_frame({"n": 1}))
+    frame[4:8] = (FrameReader.MAX_FRAME_BYTES + 1).to_bytes(4, "little")
+    a.sendall(bytes(frame))
+    with pytest.raises(ConnectionLostError):
+        FrameReader(b).read_message(timeout=1.0)
+
+
+def test_partial_frame_survives_timeout(pair):
+    a, b = pair
+    reader = FrameReader(b)
+    frame = encode_frame({"payload": list(range(100))})
+    a.sendall(frame[:10])
+    with pytest.raises(socket.timeout):
+        reader.read_message(timeout=0.05)
+    # The half-read bytes stayed buffered; completing the frame works.
+    a.sendall(frame[10:])
+    assert reader.read_message(timeout=1.0) == {
+        "payload": list(range(100))
+    }
+
+
+def test_garble_requires_payload():
+    header_only = encode_frame(None)[:12]
+    with pytest.raises(ValueError):
+        garble_frame(header_only)
+
+
+def test_magic_constant_framing():
+    frame = encode_frame({"x": 1})
+    assert frame[:4] == MAGIC
