@@ -38,6 +38,7 @@ from .report import (
     SCHEMA_VERSION,
     BenchReport,
     BenchReportError,
+    ingest_view,
     recovery_view,
     serve_view,
     throughput_view,
@@ -59,6 +60,7 @@ __all__ = [
     "WorkloadSpec",
     "compare_reports",
     "format_table",
+    "ingest_view",
     "recovery_view",
     "result_fingerprint",
     "run_bench",

@@ -45,9 +45,11 @@ __all__ = [
     "THROUGHPUT_VIEW_KEYS",
     "RECOVERY_VIEW_KEYS",
     "SERVE_VIEW_KEYS",
+    "INGEST_VIEW_KEYS",
     "throughput_view",
     "recovery_view",
     "serve_view",
+    "ingest_view",
     "validate_view",
 ]
 
@@ -220,10 +222,26 @@ SERVE_VIEW_KEYS = (
     "p99_ms",
 )
 
+#: BENCH_ingest.json keys (logical mutation/reorg counts + advisory rates).
+INGEST_VIEW_KEYS = (
+    "n_points",
+    "n_ops",
+    "reorgs",
+    "final_generation",
+    "crash_schedules",
+    "recovered_old",
+    "recovered_new",
+    "swap_requests",
+    "swap_partial",
+    "ingest_ops_per_s",
+    "reorg_s",
+)
+
 _VIEW_KEYS = {
     "throughput": THROUGHPUT_VIEW_KEYS,
     "recovery": RECOVERY_VIEW_KEYS,
     "serve": SERVE_VIEW_KEYS,
+    "ingest": INGEST_VIEW_KEYS,
 }
 
 
@@ -250,6 +268,11 @@ def recovery_view(report: BenchReport) -> dict:
 def serve_view(report: BenchReport) -> dict:
     """The flat ``BENCH_serve.json`` dict, drawn from a report."""
     return _extract_view(report, SERVE_VIEW_KEYS)
+
+
+def ingest_view(report: BenchReport) -> dict:
+    """The flat ``BENCH_ingest.json`` dict, drawn from a report."""
+    return _extract_view(report, INGEST_VIEW_KEYS)
 
 
 def validate_view(kind: str, data: object) -> None:

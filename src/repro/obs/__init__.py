@@ -30,7 +30,7 @@ their spans back under the parent span.
 
 from .explain import QueryExplain, explain_from_records, explain_from_tracer
 from .flight import FlightRecorder, logical_cost
-from .health import HealthReport, HealthSampler
+from .health import HealthReport, HealthSampler, drift_scores
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -63,6 +63,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "ensure_tracer",
+    "drift_scores",
     "explain_from_records",
     "explain_from_tracer",
     "logical_cost",

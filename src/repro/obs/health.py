@@ -37,6 +37,7 @@ __all__ = [
     "HealthSampler",
     "HealthReport",
     "Threshold",
+    "drift_scores",
 ]
 
 
@@ -95,6 +96,47 @@ class HealthSample:
         }
 
 
+def _live_mpe(subspace, residuals: Dict[int, Tuple[int, float]], i: int):
+    """``(live_mpe, drift)`` for one partition: the running live estimate
+    and its normalized delta against the build-time MPE
+    (``live / bulk - 1``; 0.0 with no inserts, +inf when insert residuals
+    land in a partition that was fit with zero error)."""
+    n_ins, sum_resid = residuals.get(i, (0, 0.0))
+    denom = subspace.size + n_ins
+    live = (
+        (subspace.mpe * subspace.size + sum_resid) / denom
+        if denom
+        else 0.0
+    )
+    if subspace.mpe > 0:
+        drift = live / subspace.mpe - 1.0
+    else:
+        drift = float("inf") if live > 0 else 0.0
+    return live, drift
+
+
+def drift_scores(index) -> Dict[int, float]:
+    """Per-partition drift score: normalized live-MPE delta vs. the
+    build-time MPE (``live_mpe / bulk_mpe - 1``).
+
+    This is THE drift definition — the ingest reorganization trigger
+    (:meth:`repro.ingest.IngestPipeline.check_drift`), the bench health
+    section, and the ``mpe_drift_max`` gauge all read it from here, so a
+    threshold tuned against one is valid against the others.  Empty for
+    indexes without a reduced dataset.
+    """
+    reduced = getattr(index, "reduced", None)
+    if reduced is None:
+        return {}
+    residuals: Dict[int, Tuple[int, float]] = getattr(
+        index, "_insert_residuals", None
+    ) or {}
+    return {
+        i: _live_mpe(subspace, residuals, i)[1]
+        for i, subspace in enumerate(reduced.subspaces)
+    }
+
+
 def _mpe_gauges(index) -> Dict[str, float]:
     """Per-partition live MPE estimates and the max relative drift."""
     reduced = getattr(index, "reduced", None)
@@ -106,18 +148,9 @@ def _mpe_gauges(index) -> Dict[str, float]:
     gauges: Dict[str, float] = {}
     max_drift = 0.0
     for i, subspace in enumerate(reduced.subspaces):
-        n_ins, sum_resid = residuals.get(i, (0, 0.0))
-        denom = subspace.size + n_ins
-        live = (
-            (subspace.mpe * subspace.size + sum_resid) / denom
-            if denom
-            else 0.0
-        )
+        live, drift = _live_mpe(subspace, residuals, i)
         gauges[f"mpe_live.p{i}"] = live
-        if subspace.mpe > 0:
-            max_drift = max(max_drift, live / subspace.mpe - 1.0)
-        elif live > 0:
-            max_drift = max(max_drift, float("inf"))
+        max_drift = max(max_drift, drift)
     gauges["mpe_drift_max"] = max_drift
     return gauges
 
@@ -183,6 +216,11 @@ class HealthSampler:
     @property
     def latest(self) -> Optional[HealthSample]:
         return self.samples[-1] if self.samples else None
+
+    def drift_score(self, index) -> Dict[int, float]:
+        """Per-partition normalized live-MPE drift (the single shared
+        definition — see :func:`drift_scores`)."""
+        return drift_scores(index)
 
     def export_jsonl(self, path: Union[str, Path]) -> int:
         """One ``{"type": "health", ...}`` record per sample; returns the

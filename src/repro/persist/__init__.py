@@ -17,6 +17,7 @@ from .snapshot import (
     SnapshotFormatError,
     load_index,
     save_index,
+    snapshot_generation,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "SnapshotFormatError",
     "load_index",
     "save_index",
+    "snapshot_generation",
 ]

@@ -25,7 +25,7 @@ import json
 import pickle
 import zlib
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from ..index.base import VectorIndex
 from ..index.global_ldr import GlobalLDRIndex
@@ -42,6 +42,7 @@ __all__ = [
     "SnapshotCorruptionError",
     "save_index",
     "load_index",
+    "snapshot_generation",
 ]
 
 #: Bump when the on-disk layout changes incompatibly; loaders refuse
@@ -84,11 +85,20 @@ def _canonical_manifest_bytes(manifest: dict) -> bytes:
     return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
 
 
-def save_index(index: VectorIndex, path: Union[str, Path]) -> dict:
+def save_index(
+    index: VectorIndex,
+    path: Union[str, Path],
+    generation: Optional[int] = None,
+) -> dict:
     """Write a snapshot of ``index`` under directory ``path``.
 
     The directory is created if needed; an existing snapshot there is
     replaced.  Returns the manifest dict that was written.
+
+    ``generation`` stamps the index generation this snapshot materializes
+    (generational reorganization, DESIGN.md §15).  Ungenerational callers
+    omit it and the manifest stays byte-identical to the pre-generation
+    format.
     """
     class_name = type(index).__name__
     if class_name not in _KNOWN_CLASSES:
@@ -111,6 +121,8 @@ def save_index(index: VectorIndex, path: Union[str, Path]) -> dict:
         ),
         "size_pages": int(index.size_pages),
     }
+    if generation is not None:
+        manifest["generation"] = int(generation)
     manifest["manifest_crc32"] = _crc32(
         _canonical_manifest_bytes(manifest)
     )
@@ -205,3 +217,23 @@ def load_index(path: Union[str, Path]) -> VectorIndex:
             f"declares {class_name}"
         )
     return index
+
+
+def snapshot_generation(path: Union[str, Path]) -> Optional[int]:
+    """The generation a snapshot's manifest declares, or ``None`` for a
+    snapshot written without one (pre-generation format, still loadable).
+
+    Validates the manifest's self-checksum first, so a doctored generation
+    field raises :class:`SnapshotCorruptionError` rather than steering a
+    generational recovery somewhere surprising.
+    """
+    manifest = _read_manifest(Path(path))
+    generation = manifest.get("generation")
+    if generation is None:
+        return None
+    if not isinstance(generation, int) or isinstance(generation, bool):
+        raise SnapshotFormatError(
+            f"snapshot {path} declares non-integer generation "
+            f"{generation!r}"
+        )
+    return generation

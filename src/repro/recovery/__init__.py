@@ -8,7 +8,13 @@ deterministic crashpoints over an update workload and proves equivalence
 with a freshly built index.
 """
 
-from .recover import RecoveryError, RecoveryReport, checkpoint, recover
+from .recover import (
+    GenerationMismatchError,
+    RecoveryError,
+    RecoveryReport,
+    checkpoint,
+    recover,
+)
 from .harness import (
     CrashOutcome,
     apply_op,
@@ -20,6 +26,7 @@ from .harness import (
 
 __all__ = [
     "CrashOutcome",
+    "GenerationMismatchError",
     "RecoveryError",
     "RecoveryReport",
     "apply_op",

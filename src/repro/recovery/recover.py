@@ -28,7 +28,7 @@ from typing import List, Optional, Tuple, Union
 
 from ..index.base import VectorIndex
 from ..obs.tracer import Tracer, ensure_tracer
-from ..persist.snapshot import load_index, save_index
+from ..persist.snapshot import load_index, save_index, snapshot_generation
 from ..storage.wal import (
     CHECKPOINT,
     COMMIT,
@@ -40,12 +40,25 @@ from ..storage.wal import (
     WriteAheadLog,
 )
 
-__all__ = ["RecoveryError", "RecoveryReport", "checkpoint", "recover"]
+__all__ = [
+    "GenerationMismatchError",
+    "RecoveryError",
+    "RecoveryReport",
+    "checkpoint",
+    "recover",
+]
 
 
 class RecoveryError(WALError):
     """The log + snapshot pair cannot produce a consistent index (no
     checkpoint to start from, snapshot missing, or malformed records)."""
+
+
+class GenerationMismatchError(RecoveryError):
+    """The snapshot belongs to a different index generation than the log's
+    CHECKPOINT record declares (DESIGN.md §15).  Replaying a newer
+    generation's log onto an older generation's snapshot would silently
+    produce a hybrid state, so the pair is rejected outright."""
 
 
 @dataclass
@@ -76,7 +89,9 @@ class RecoveryReport:
 
 
 def checkpoint(
-    index: VectorIndex, snapshot_path: Union[str, Path]
+    index: VectorIndex,
+    snapshot_path: Union[str, Path],
+    generation: Optional[int] = None,
 ) -> int:
     """Snapshot a WAL-protected index and truncate its log.
 
@@ -84,6 +99,10 @@ def checkpoint(
     file cannot — and must not — be pickled into the snapshot), then
     reattached before the ``CHECKPOINT`` record is appended.  Returns the
     checkpoint record's LSN.
+
+    ``generation`` stamps both the snapshot manifest and the CHECKPOINT
+    record, which is what lets :func:`recover` refuse a mixed
+    snapshot/log pair with :class:`GenerationMismatchError`.
     """
     wal_store = index.disable_wal()
     if wal_store is None:
@@ -91,10 +110,12 @@ def checkpoint(
             "checkpoint requires WAL protection; call enable_wal first"
         )
     try:
-        save_index(index, snapshot_path)
+        save_index(index, snapshot_path, generation=generation)
     finally:
         index.reattach_wal(wal_store)
-    return wal_store.wal.checkpoint(snapshot_path, truncate=True)
+    return wal_store.wal.checkpoint(
+        snapshot_path, truncate=True, generation=generation
+    )
 
 
 def _analyze(
@@ -142,6 +163,23 @@ def recover(
     if snapshot_path is None:
         snapshot_path = ckpt.payload["snapshot"]
     checkpoint_lsn = ckpt.lsn if ckpt is not None else 0
+
+    # Generation cross-check (DESIGN.md §15): a CHECKPOINT stamped with a
+    # generation only ever replays onto a snapshot stamped with the same
+    # one.  An unstamped snapshot (pre-generation format) paired with a
+    # stamped log is equally refused — it cannot prove it matches.
+    wal_generation = (
+        ckpt.payload.get("generation") if ckpt is not None else None
+    )
+    if wal_generation is not None:
+        snap_generation = snapshot_generation(snapshot_path)
+        if snap_generation != wal_generation:
+            raise GenerationMismatchError(
+                f"log {wal_path} checkpoints generation "
+                f"{wal_generation}, but snapshot {snapshot_path} is "
+                f"generation {snap_generation}; replaying would build a "
+                "hybrid of two generations"
+            )
 
     with tracer.span(
         "recovery.run",

@@ -40,6 +40,7 @@ from .protocol import (
 from .router import (
     NoShardsAvailableError,
     OverloadError,
+    RollingSwapReport,
     Router,
     RouterConfig,
     RouterResult,
@@ -56,6 +57,7 @@ __all__ = [
     "NoShardsAvailableError",
     "OverloadError",
     "ProtocolError",
+    "RollingSwapReport",
     "Router",
     "RouterConfig",
     "RouterResult",

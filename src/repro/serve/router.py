@@ -68,6 +68,7 @@ __all__ = [
     "OverloadError",
     "ShardUnavailableError",
     "NoShardsAvailableError",
+    "RollingSwapReport",
     "RouterConfig",
     "RouterResult",
     "Router",
@@ -166,6 +167,14 @@ class RouterResult:
     @property
     def k(self) -> int:
         return int(self.ids.shape[1])
+
+
+@dataclass(frozen=True)
+class RollingSwapReport:
+    """What one :meth:`Router.rolling_swap` did."""
+
+    shards_swapped: Tuple[int, ...]
+    wall_seconds: float
 
 
 def canonicalize_rows(
@@ -274,6 +283,10 @@ class Router:
         self._inflight = threading.Semaphore(self.config.max_inflight)
         self._heartbeat_stop: Optional[threading.Event] = None
         self._heartbeat_thread: Optional[threading.Thread] = None
+        #: Shards mid-swap: excluded from the scatter (reported missing /
+        #: partial via the normal degrade contract) instead of queueing
+        #: requests behind the respawn.  Mutated only by rolling_swap.
+        self._draining: set = set()
 
     # -- shard-level request ladder -------------------------------------
 
@@ -482,6 +495,16 @@ class Router:
             )
         valid_queries = queries if not invalid_rows else queries[valid]
         shard_ids = self.supervisor.shard_ids
+        # Snapshot the draining set once per request: shards mid-swap are
+        # routed around (missing/partial), exactly like a tripped breaker.
+        draining = tuple(
+            sid for sid in shard_ids if sid in self._draining
+        )
+        if draining:
+            self.metrics.counter("serve.draining_skipped").inc(
+                len(draining)
+            )
+        active_ids = [sid for sid in shard_ids if sid not in draining]
         request_base = {
             "op": "knn",
             "queries": valid_queries,
@@ -500,20 +523,20 @@ class Router:
 
         with tracer.span(
             "serve.scatter",
-            n_shards=len(shard_ids),
+            n_shards=len(active_ids),
             n_queries=int(queries.shape[0]),
             k=k,
         ) as scatter_span:
-            if valid_queries.shape[0] == 0:
+            if valid_queries.shape[0] == 0 or not active_ids:
                 replies.clear()
-            elif len(shard_ids) == 1:
-                scatter_one(shard_ids[0])
+            elif len(active_ids) == 1:
+                scatter_one(active_ids[0])
             else:
                 threads = [
                     threading.Thread(
                         target=scatter_one, args=(sid,), daemon=True
                     )
-                    for sid in shard_ids
+                    for sid in active_ids
                 ]
                 for thread in threads:
                     thread.start()
@@ -540,8 +563,10 @@ class Router:
         missing = tuple(
             sid
             for sid in shard_ids
-            if sid in failures and isinstance(
-                failures[sid], ShardUnavailableError
+            if sid in draining
+            or (
+                sid in failures
+                and isinstance(failures[sid], ShardUnavailableError)
             )
         )
         if valid_queries.shape[0] and not replies:
@@ -593,6 +618,53 @@ class Router:
             partial=partial,
             missing_shards=missing,
             shards_answered=len(replies),
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    # -- generational swap ------------------------------------------------
+
+    def rolling_swap(
+        self, new_plan, new_root
+    ) -> "RollingSwapReport":
+        """Swap the cluster to a new index generation one shard at a time,
+        without ever refusing a request outright.
+
+        Protocol per shard: mark it *draining* (new scatters route around
+        it and report ``partial``), acquire its channel lock — every shard
+        request holds that lock for its full ladder, so acquiring it IS
+        the drain barrier — then point the supervisor at the new
+        generation's directory and respawn the worker from the new
+        snapshot + WAL.  Undrain, move on.  At most one shard is ever
+        down, which is exactly the degrade the ladder already absorbs; a
+        mid-roll answer may mix old- and new-generation shards (stale-read
+        window, see DESIGN.md §15) but is complete and correctly merged
+        under either generation's rid spaces because global rids are
+        stable across generations.
+
+        The new generation's state is fully built (``prepare_generation``)
+        before the first worker dies, so a failure while building leaves
+        the cluster untouched.
+        """
+        start = time.perf_counter()
+        prepared = self.supervisor.prepare_generation(new_plan, new_root)
+        swapped: List[int] = []
+        try:
+            for sid in self.supervisor.shard_ids:
+                channel = self._channels[sid]
+                self._draining.add(sid)
+                try:
+                    with channel.lock:  # drained: no request in flight
+                        self.supervisor.swap_shard(sid, prepared[sid])
+                finally:
+                    self._draining.discard(sid)
+                channel.breaker.record_success()
+                self.metrics.counter("serve.generation_swaps").inc()
+                swapped.append(sid)
+        finally:
+            self._draining.clear()
+        self.supervisor.adopt_plan(new_plan)
+        return RollingSwapReport(
+            shards_swapped=tuple(swapped),
             wall_seconds=time.perf_counter() - start,
         )
 

@@ -89,35 +89,97 @@ class Supervisor:
         self._fault_specs: Dict[int, WorkerFaultSpec] = {}
         self._ctx = _fork_context()
         self._prepared = False
+        #: Per-shard directory overrides installed by :meth:`swap_shard`
+        #: (generational swaps); shards not listed serve from ``root``.
+        self._shard_dirs: Dict[int, Path] = {}
 
     # -- shard state on disk --------------------------------------------
 
     def shard_dir(self, shard_id: int) -> Path:
+        override = self._shard_dirs.get(shard_id)
+        if override is not None:
+            return override
         return self.root / f"shard_{shard_id}"
 
     @property
     def shard_ids(self):
         return [a.shard_id for a in self.plan.shards]
 
-    def prepare(self) -> None:
-        """Build + checkpoint every shard's index into its directory."""
+    def _prepare_shard(self, assignment, sdir: Path) -> None:
+        """Build + checkpoint one shard assignment into ``sdir``."""
         factory: Optional[Callable] = (
             MmapPageStore if self.store == "mmap" else None
         )
         build = INDEX_SCHEMES[self.scheme]
+        sdir.mkdir(parents=True, exist_ok=True)
+        index = build(assignment.reduced, store_factory=factory)
+        index.enable_wal(sdir / WAL_NAME)
+        checkpoint(index, sdir / SNAPSHOT_NAME)
+        wal_store = index.disable_wal()
+        wal_store.wal.close()
+        # Release the build-time physical store (mmap file handles);
+        # workers rehydrate their own from the snapshot.
+        index.store.close()
+        np.save(sdir / RID_MAP_NAME, assignment.rid_map)
+
+    def prepare(self) -> None:
+        """Build + checkpoint every shard's index into its directory."""
         for assignment in self.plan.shards:
-            sdir = self.shard_dir(assignment.shard_id)
-            sdir.mkdir(parents=True, exist_ok=True)
-            index = build(assignment.reduced, store_factory=factory)
-            index.enable_wal(sdir / WAL_NAME)
-            checkpoint(index, sdir / SNAPSHOT_NAME)
-            wal_store = index.disable_wal()
-            wal_store.wal.close()
-            # Release the build-time physical store (mmap file handles);
-            # workers rehydrate their own from the snapshot.
-            index.store.close()
-            np.save(sdir / RID_MAP_NAME, assignment.rid_map)
+            self._prepare_shard(
+                assignment, self.shard_dir(assignment.shard_id)
+            )
         self._prepared = True
+
+    # -- generational swap ------------------------------------------------
+
+    def prepare_generation(
+        self, new_plan: ShardPlan, new_root: Union[str, Path]
+    ) -> Dict[int, Path]:
+        """Build a new index generation's shard state under ``new_root``
+        without touching any live worker (swap protocol step 1: *build*).
+
+        The new plan must be shard-compatible with the live one — same
+        shard ids, dimensionality, metric, and mode — because the router
+        keeps scattering every request to every shard id while the swap
+        rolls.  Returns ``{shard_id: shard_dir}`` for :meth:`swap_shard`.
+        """
+        live = self.plan
+        if [a.shard_id for a in new_plan.shards] != [
+            a.shard_id for a in live.shards
+        ]:
+            raise ValueError(
+                "new plan's shard ids "
+                f"{[a.shard_id for a in new_plan.shards]} do not match the "
+                f"live plan's {[a.shard_id for a in live.shards]}"
+            )
+        for attr in ("dimensionality", "metric", "mode"):
+            if getattr(new_plan, attr) != getattr(live, attr):
+                raise ValueError(
+                    f"new plan's {attr} ({getattr(new_plan, attr)!r}) does "
+                    f"not match the live plan's "
+                    f"({getattr(live, attr)!r})"
+                )
+        new_root = Path(new_root)
+        dirs: Dict[int, Path] = {}
+        for assignment in new_plan.shards:
+            sdir = new_root / f"shard_{assignment.shard_id}"
+            self._prepare_shard(assignment, sdir)
+            dirs[assignment.shard_id] = sdir
+        return dirs
+
+    def swap_shard(self, shard_id: int, new_dir: Path) -> WorkerHandle:
+        """Point one shard at a new generation's directory and respawn its
+        worker from that state (the caller is responsible for draining the
+        shard's in-flight requests first — see ``Router.rolling_swap``)."""
+        if shard_id not in (a.shard_id for a in self.plan.shards):
+            raise ValueError(f"unknown shard id {shard_id}")
+        self._shard_dirs[shard_id] = Path(new_dir)
+        return self.respawn(shard_id)
+
+    def adopt_plan(self, new_plan: ShardPlan) -> None:
+        """Install the new generation's plan as the live one (after every
+        shard has swapped)."""
+        self.plan = new_plan
 
     # -- fault injection -------------------------------------------------
 

@@ -244,11 +244,19 @@ class WriteAheadLog:
                 )
             self._records_in_log = len(records)
             self._bytes_in_log = valid_bytes
-            # Commits since the last checkpoint in the surviving log; a
-            # truncating checkpoint leaves only its own record, so this
-            # is exact for the truncate=True discipline the indexes use.
+            # Commits since the last CHECKPOINT record in the surviving
+            # log.  Counting only records past that LSN keeps the reopened
+            # figure exact even for logs written with truncate=False (or
+            # any log where commits precede a checkpoint), matching what
+            # the incremental counter would have reported pre-reopen.
+            last_ckpt_lsn = max(
+                (r.lsn for r in records if r.rtype == CHECKPOINT),
+                default=0,
+            )
             self._commits_since_checkpoint = sum(
-                1 for r in records if r.rtype == COMMIT
+                1
+                for r in records
+                if r.rtype == COMMIT and r.lsn > last_ckpt_lsn
             )
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -401,7 +409,11 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
 
     def checkpoint(
-        self, snapshot_path: Union[str, Path], truncate: bool = True
+        self,
+        snapshot_path: Union[str, Path],
+        truncate: bool = True,
+        generation: Optional[int] = None,
+        extra: Optional[dict] = None,
     ) -> int:
         """Record that a snapshot at ``snapshot_path`` captures all state
         up to this point.
@@ -411,6 +423,14 @@ class WriteAheadLog:
         the snapshot, so recovery work and log size stay bounded by the
         update traffic since the last checkpoint.  LSNs keep counting
         across the truncation.
+
+        ``generation`` stamps the index generation the snapshot belongs to
+        (generational reorganization, DESIGN.md §15); recovery cross-checks
+        it against the snapshot manifest so an old-generation snapshot can
+        never silently replay a newer generation's log.  ``extra`` rides
+        along in the CHECKPOINT payload for caller-level watermarks (the
+        ingest pipeline stores its oplog sequence there); the reserved
+        ``snapshot``/``generation`` keys cannot be overridden.
         """
         if self._active is not None:
             raise WALProtocolError(
@@ -418,9 +438,19 @@ class WriteAheadLog:
             )
         lsn = self._next_lsn
         self._next_lsn += 1
-        frame = _encode(
-            lsn, 0, CHECKPOINT, {"snapshot": str(snapshot_path)}
-        )
+        payload: dict = {}
+        if extra:
+            reserved = {"snapshot", "generation"} & set(extra)
+            if reserved:
+                raise WALProtocolError(
+                    f"checkpoint extra payload uses reserved keys "
+                    f"{sorted(reserved)}"
+                )
+            payload.update(extra)
+        payload["snapshot"] = str(snapshot_path)
+        if generation is not None:
+            payload["generation"] = int(generation)
+        frame = _encode(lsn, 0, CHECKPOINT, payload)
         if truncate:
             self._fh.close()
             with open(self.path, "wb") as fh:

@@ -1,0 +1,83 @@
+"""Shared ingest fixtures: a small base set, a drift-inducing stream, and
+a deterministic reducer.
+
+Everything here is deliberately tiny — the swap crashpoint sweep rebuilds
+a pipeline per crash schedule, so fixture size multiplies across the whole
+sweep matrix.  The base set is *correlated clusters* (not an isotropic
+blob): the fitted subspaces then carry a positive bulk MPE, so drift is a
+finite ratio rather than the inf-on-any-residual edge case of perfectly
+fit partitions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticSpec, generate_correlated_clusters
+from repro.reduction import MMDRReducer
+
+DIMS = 6
+N_BASE = 80
+
+
+@pytest.fixture(scope="session")
+def ingest_rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def base_points():
+    spec = SyntheticSpec(
+        n_points=N_BASE,
+        dimensionality=DIMS,
+        n_clusters=2,
+        retained_dims=2,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.01,
+    )
+    return generate_correlated_clusters(
+        spec, np.random.default_rng(77)
+    ).points
+
+
+@pytest.fixture(scope="session")
+def drift_ops(base_points, reduce_fn, ingest_rng):
+    """A drift-inducing stream: inserts at cluster members plus jitter
+    *orthogonal* to the member's fitted subspace — the routing residual
+    (and hence the live MPE) grows while the in-plane key offset stays
+    inside the B+-tree's stretch constant — plus a few deletes
+    (tombstones).  The loosened beta keeps the jittered points routing
+    into their subspaces instead of falling out as outliers."""
+    reduced = reduce_fn(base_points)
+    subspaces = reduced.subspaces
+    ops = []
+    for i in range(20):
+        sub = subspaces[i % len(subspaces)]
+        member = base_points[int(sub.member_ids[i % sub.member_ids.size])]
+        jitter = ingest_rng.normal(0.0, 1.0, DIMS)
+        jitter -= sub.basis @ (sub.basis.T @ jitter)
+        # Fixed-norm residual: large enough to triple the bulk MPE over
+        # the stream, small enough that the member's home subspace always
+        # wins the min-ProjDist routing (cross-subspace distances on this
+        # dataset are >= ~0.3).
+        jitter *= 0.06 / np.linalg.norm(jitter)
+        ops.append(("insert", member + jitter, N_BASE + i, 5.0))
+    ops += [("delete", rid) for rid in range(5)]
+    return ops
+
+
+@pytest.fixture(scope="session")
+def ingest_queries(base_points, ingest_rng):
+    return base_points[:4] + ingest_rng.normal(0.0, 0.05, (4, DIMS))
+
+
+@pytest.fixture(scope="session")
+def reduce_fn():
+    """Deterministic (fixed-seed) reduction — rebuilding the same point
+    set must yield the same index, or generation fingerprints are
+    meaningless."""
+
+    def fn(points):
+        return MMDRReducer().reduce(points, np.random.default_rng(0))
+
+    return fn

@@ -1,0 +1,54 @@
+"""The generational swap's durability contract, proven exhaustively.
+
+One sweep per scheme: crash at every physical write of the
+build → swap → truncate sequence (both torn sides), recover, and demand a
+batch-KNN fingerprint equal to exactly the pre-swap or the post-swap
+state — never a hybrid.  This is the ingest-layer counterpart of
+``tests/recovery``'s per-mutation WAL sweep.
+"""
+
+import pytest
+
+from repro.ingest import swap_crash_sweep
+
+SCHEMES = ["iMMDR", "gLDR", "SeqScan"]
+
+
+@pytest.mark.crash_smoke
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_every_swap_crashpoint_recovers_to_one_generation(
+    scheme, tmp_path, base_points, drift_ops, ingest_queries, reduce_fn
+):
+    report = swap_crash_sweep(
+        tmp_path,
+        base_points,
+        drift_ops,
+        ingest_queries,
+        k=5,
+        reduce_fn=reduce_fn,
+        scheme=scheme,
+    )
+    assert report.schedules == 2 * report.swap_writes
+    # The sequence must actually have a flip point: schedules on both
+    # sides of the atomic CURRENT replace.
+    assert report.recovered_old > 0
+    assert report.recovered_new > 0
+    assert report.recovered_old + report.recovered_new == report.schedules
+
+
+def test_sweep_subsampling_keeps_both_phases(
+    tmp_path, base_points, drift_ops, ingest_queries, reduce_fn
+):
+    report = swap_crash_sweep(
+        tmp_path,
+        base_points,
+        drift_ops,
+        ingest_queries,
+        k=5,
+        reduce_fn=reduce_fn,
+        scheme="SeqScan",
+        max_schedules=8,
+    )
+    assert 0 < report.schedules <= 2 * report.swap_writes
+    phases = {o.phase for o in report.outcomes}
+    assert phases == {"before", "after"}

@@ -21,6 +21,7 @@ from repro.obs.health import (
     HealthReport,
     HealthSampler,
     Threshold,
+    drift_scores,
     sample_gauges,
 )
 from repro.reduction.mmdr_adapter import model_to_reduced
@@ -71,6 +72,60 @@ class TestGauges:
         index = ExtendedIDistance(reduced)
         index.insert(np.full(reduced.dimensionality, 90.0), rid=970_000)
         assert not getattr(index, "_insert_residuals", {})
+
+    def test_drift_scores_fire_under_a_shifted_insert_distribution(
+        self, reduced, two_cluster_dataset, rng
+    ):
+        # Inserts drawn far from the fitted clusters carry large routing
+        # residuals, so the touched partitions' normalized drift must rise
+        # well past what in-distribution inserts produce.
+        index = ExtendedIDistance(reduced)
+        assert drift_scores(index) == {
+            i: 0.0 for i in range(len(reduced.subspaces))
+        }
+        # A modest jitter: large relative to the fitted clusters' tiny
+        # projection error, small enough that the points still route into
+        # their subspaces (a loosened beta keeps them from falling out as
+        # outliers).  Enough of them must land to drag the live MPE —
+        # each partition holds ~1000 bulk points diluting the estimate.
+        for i in range(80):
+            point = two_cluster_dataset.points[i] + rng.normal(
+                0.0, 0.15, reduced.dimensionality
+            )
+            index.insert(point, rid=960_000 + i, beta=5.0)
+        assert getattr(
+            index, "_insert_residuals", {}
+        ), "shifted inserts must still route into subspaces"
+        scores = drift_scores(index)
+        touched = {i for i in index._insert_residuals}
+        assert max(scores[i] for i in touched) > 0.5
+        for i in set(scores) - touched:
+            assert scores[i] == 0.0
+
+    def test_drift_scores_match_the_drift_gauge(
+        self, reduced, two_cluster_dataset, rng
+    ):
+        # One shared definition: the mpe_drift_max gauge must be exactly
+        # the max of the per-partition scores.
+        index = ExtendedIDistance(reduced)
+        for i in range(6):
+            noisy = two_cluster_dataset.points[i] + rng.normal(
+                0.0, 0.2, reduced.dimensionality
+            )
+            index.insert(noisy, rid=950_000 + i)
+        scores = drift_scores(index)
+        gauges = sample_gauges(index)
+        assert gauges["mpe_drift_max"] == pytest.approx(
+            max(scores.values())
+        )
+        # The sampler method is the same function.
+        assert HealthSampler().drift_score(index) == scores
+
+    def test_drift_scores_empty_without_reduction(self):
+        class Bare:
+            pass
+
+        assert drift_scores(Bare()) == {}
 
     def test_tombstones_move_the_fraction(self, reduced):
         index = SequentialScan(reduced)

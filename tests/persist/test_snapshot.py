@@ -19,6 +19,7 @@ from repro.persist import (
     SnapshotFormatError,
     load_index,
     save_index,
+    snapshot_generation,
 )
 from repro.reduction.mmdr_adapter import model_to_reduced
 from repro.storage.pager import PageCorruptionError
@@ -190,3 +191,31 @@ class TestFormatErrors:
         self.rewrite_manifest(snapshot, **{"class": "GlobalLDRIndex"})
         with pytest.raises(SnapshotFormatError):
             load_index(snapshot)
+
+
+class TestGenerationStamp:
+    """The manifest's generation tag ties a snapshot to one index
+    generation; recovery's cross-check against the WAL reads it via
+    :func:`snapshot_generation`."""
+
+    def test_generation_written_and_read_back(self, reduced, tmp_path):
+        _, red = reduced
+        save_index(SequentialScan(red), tmp_path / "snap", generation=7)
+        assert snapshot_generation(tmp_path / "snap") == 7
+        loaded = load_index(tmp_path / "snap")  # stamp never blocks loads
+        assert loaded.live_count == red.n_points
+
+    def test_ungenerational_snapshot_reads_none(self, reduced, tmp_path):
+        _, red = reduced
+        save_index(SequentialScan(red), tmp_path / "snap")
+        assert snapshot_generation(tmp_path / "snap") is None
+
+    def test_non_integer_generation_is_a_format_error(
+        self, reduced, tmp_path
+    ):
+        _, red = reduced
+        save_index(SequentialScan(red), tmp_path / "snap", generation=2)
+        helper = TestFormatErrors()
+        helper.rewrite_manifest(tmp_path / "snap", generation="two")
+        with pytest.raises(SnapshotFormatError):
+            snapshot_generation(tmp_path / "snap")

@@ -14,7 +14,9 @@ from repro.data.synthetic import SyntheticSpec, generate_correlated_clusters
 from repro.index.global_ldr import GlobalLDRIndex
 from repro.index.idistance import ExtendedIDistance
 from repro.index.seqscan import SequentialScan
+from repro.persist import save_index
 from repro.recovery import (
+    GenerationMismatchError,
     checkpoint,
     count_update_writes,
     crash_sweep,
@@ -205,3 +207,59 @@ def test_recovered_index_resumes_logging(setting, tmp_path):
         got, want = final.knn(query, 5), reference.knn(query, 5)
         assert np.array_equal(got.ids, want.ids)
         assert np.array_equal(got.distances, want.distances)
+
+
+class TestGenerationCrossCheck:
+    """Generational swaps leave snapshots and WALs stamped with a
+    generation number; recovery must refuse to marry an older generation's
+    snapshot to a newer generation's log with a *typed* error instead of
+    silently replaying records against the wrong base state."""
+
+    def test_matching_generations_recover(self, setting, tmp_path):
+        ds, reduced, ops = setting
+        index = SequentialScan(reduced)
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        index.enable_wal(wal)
+        checkpoint(index, tmp_path / "ckpt", generation=3)
+        for op in ops[:2]:
+            apply_op(index, op)
+        wal.close()
+        recovered, report = recover(tmp_path / "wal.log")
+        assert report.committed_txns == 2
+        assert recovered.live_count == index.live_count
+
+    def test_older_snapshot_newer_wal_is_typed(self, setting, tmp_path):
+        ds, reduced, ops = setting
+        # An old-generation snapshot sits at the path...
+        save_index(SequentialScan(reduced), tmp_path / "ckpt", generation=1)
+        # ...but the WAL's checkpoint record claims generation 2 (the
+        # post-swap log survived; the snapshot swap write was lost).
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.checkpoint(tmp_path / "ckpt", truncate=True, generation=2)
+        wal.close()
+        with pytest.raises(GenerationMismatchError):
+            recover(tmp_path / "wal.log")
+
+    def test_ungenerational_snapshot_with_generational_wal_is_typed(
+        self, setting, tmp_path
+    ):
+        ds, reduced, ops = setting
+        save_index(SequentialScan(reduced), tmp_path / "ckpt")
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.checkpoint(tmp_path / "ckpt", truncate=True, generation=4)
+        wal.close()
+        with pytest.raises(GenerationMismatchError):
+            recover(tmp_path / "wal.log")
+
+    def test_ungenerational_wal_ignores_snapshot_stamp(
+        self, setting, tmp_path
+    ):
+        # Pre-generational logs (or single-index deployments) must keep
+        # recovering against generation-stamped snapshots.
+        ds, reduced, ops = setting
+        save_index(SequentialScan(reduced), tmp_path / "ckpt", generation=5)
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.checkpoint(tmp_path / "ckpt", truncate=True)
+        wal.close()
+        recovered, _ = recover(tmp_path / "wal.log")
+        assert recovered.live_count == reduced.n_points

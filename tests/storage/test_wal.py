@@ -171,6 +171,77 @@ class TestCheckpoint:
         types = [r.rtype for r in wal.records()]
         assert types == [BEGIN, COMMIT, CHECKPOINT]
 
+    def test_generation_and_extra_ride_in_payload(self, wal):
+        wal.checkpoint("/snap", generation=3, extra={"ingest_seq": 41})
+        payload = wal.records()[-1].payload
+        assert payload == {
+            "snapshot": "/snap",
+            "generation": 3,
+            "ingest_seq": 41,
+        }
+
+    def test_extra_cannot_shadow_reserved_keys(self, wal):
+        with pytest.raises(WALProtocolError, match="reserved"):
+            wal.checkpoint("/snap", extra={"snapshot": "/evil"})
+        with pytest.raises(WALProtocolError, match="reserved"):
+            wal.checkpoint("/snap", extra={"generation": 9})
+
+
+class TestReopenStats:
+    """``commits_since_checkpoint`` must survive close/reopen exactly —
+    the health gauge and the ingest watermark both read it."""
+
+    def _commit_n(self, log, n):
+        for _ in range(n):
+            with log.transaction("insert"):
+                pass
+
+    def test_reopen_after_truncating_checkpoint_counts_new_commits(
+        self, tmp_path
+    ):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        self._commit_n(log, 4)
+        log.checkpoint("/snap")  # truncate=True
+        self._commit_n(log, 2)
+        live = log.stats()["commits_since_checkpoint"]
+        log.close()
+        reopened = WriteAheadLog(path)
+        try:
+            assert live == 2
+            assert reopened.stats()["commits_since_checkpoint"] == live
+        finally:
+            reopened.close()
+
+    def test_reopen_after_non_truncating_checkpoint(self, tmp_path):
+        # Regression: the reopen path used to count every COMMIT in the
+        # surviving log, including those *before* the CHECKPOINT record —
+        # wrong whenever the log was checkpointed with truncate=False.
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        self._commit_n(log, 5)
+        log.checkpoint("/snap", truncate=False)
+        self._commit_n(log, 3)
+        live = log.stats()["commits_since_checkpoint"]
+        log.close()
+        reopened = WriteAheadLog(path)
+        try:
+            assert live == 3
+            assert reopened.stats()["commits_since_checkpoint"] == live
+        finally:
+            reopened.close()
+
+    def test_reopen_with_no_checkpoint_counts_all_commits(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        self._commit_n(log, 3)
+        log.close()
+        reopened = WriteAheadLog(path)
+        try:
+            assert reopened.stats()["commits_since_checkpoint"] == 3
+        finally:
+            reopened.close()
+
 
 class TestWALPageStore:
     # Every test takes make_store: the WAL wrapper must behave identically
