@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Approximate speed tier demo: PQ code scan + exact rerank.
+
+Run:
+    python examples/encode_demo.py [--points 8000] [--dims 48]
+
+The script builds the extended iDistance over an MMDR reduction,
+attaches a per-partition PQ code layer, then sweeps ``rerank_depth``
+and prints recall@K against exact answers next to the logical costs
+(cold page reads, distance evaluations) of each setting — the
+recall/cost trade-off table from EXPERIMENTS.md, reproduced live.
+It finishes with the explain view of one approximate query, showing
+where the scan and the rerank each spent their pages.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import SyntheticSpec, generate_correlated_clusters
+from repro.data.workload import sample_queries
+from repro.encode import EncoderConfig
+from repro.index.idistance import ExtendedIDistance
+from repro.obs.explain import render_explain
+from repro.reduction import MMDRReducer
+
+
+def recall_at_k(reference: np.ndarray, got: np.ndarray) -> float:
+    total = 0.0
+    for ref_row, got_row in zip(reference, got):
+        live = ref_row[ref_row >= 0]
+        total += (
+            1.0
+            if live.size == 0
+            else np.intersect1d(live, got_row).size / live.size
+        )
+    return total / reference.shape[0]
+
+
+def run_mode(index, workload, **knn_kwargs):
+    ids, pages, dists = [], 0, 0
+    for query in workload.queries:
+        index.reset_cache()
+        result = index.knn(query, workload.k, **knn_kwargs)
+        ids.append(result.ids)
+        pages += result.stats.page_reads
+        dists += result.stats.distance_computations
+    return np.vstack(ids), pages, dists
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=8000)
+    parser.add_argument("--dims", type=int, default=48)
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    spec = SyntheticSpec(
+        n_points=args.points,
+        dimensionality=args.dims,
+        n_clusters=4,
+        retained_dims=6,
+        variance_r=0.3,
+        variance_e=0.015,
+        noise_fraction=0.005,
+    )
+    dataset = generate_correlated_clusters(
+        spec, np.random.default_rng(args.seed)
+    )
+    reduced = MMDRReducer().reduce(
+        dataset.points, np.random.default_rng(0)
+    )
+    index = ExtendedIDistance(reduced)
+    workload = sample_queries(
+        dataset.points, args.queries, np.random.default_rng(1),
+        k=args.k, method="perturbed",
+    )
+
+    layer = index.attach_encoder(
+        EncoderConfig(n_subquantizers=4, codebook_size=16), seed=11
+    )
+    info = layer.describe()
+    print(
+        f"encoder: {info['partitions']} partition codebooks, "
+        f"{info['codes']} codes on {info['code_pages']} pages "
+        f"({info['n_subquantizers']} blocks x "
+        f"{info['codebook_size']}-row codebooks)"
+    )
+
+    exact_ids, exact_pages, exact_dists = run_mode(index, workload)
+    print(
+        f"\nexact:    pages={exact_pages:6d}  dists={exact_dists:8d}  "
+        f"recall=1.0000 (reference)"
+    )
+    for depth in (1, 2, 4, 8, 16):
+        ids, pages, dists = run_mode(
+            index, workload, mode="approx", rerank_depth=depth
+        )
+        print(
+            f"depth {depth:2d}: pages={pages:6d}  dists={dists:8d}  "
+            f"recall={recall_at_k(exact_ids, ids):.4f}"
+        )
+
+    print("\nexplain (mode='approx', scan vs rerank attribution):")
+    print(render_explain(index.explain(workload.queries[0], args.k,
+                                       mode="approx")))
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ from .report import (
     SCHEMA_VERSION,
     BenchReport,
     BenchReportError,
+    encode_view,
     ingest_view,
     recovery_view,
     serve_view,
@@ -59,6 +60,7 @@ __all__ = [
     "ToleranceBand",
     "WorkloadSpec",
     "compare_reports",
+    "encode_view",
     "format_table",
     "ingest_view",
     "recovery_view",

@@ -18,6 +18,13 @@ metric sections have different contracts:
   tombstone/delta fractions, WAL backlog) with ok/warn status.  Purely
   advisory and **optional**: absent in pre-PR-6 baselines, ignored by the
   comparator, never gating.
+* ``recall_curve`` — the approximate leg's measured recall@k per
+  ``rerank_depth`` (depth string -> recall).  Advisory and **optional**
+  like ``health``: omitted when empty, so exact-mode reports — including
+  every pre-approx golden baseline — remain byte-stable, and the
+  comparator never reads it.  The *gating* recall number is the
+  ``recall_at_k`` counter (tolerance-banded, see
+  :mod:`repro.bench.compare`).
 
 ``schema_version`` is checked on load: a report written by a different
 schema is rejected with :class:`BenchReportError` rather than being
@@ -46,10 +53,12 @@ __all__ = [
     "RECOVERY_VIEW_KEYS",
     "SERVE_VIEW_KEYS",
     "INGEST_VIEW_KEYS",
+    "ENCODE_VIEW_KEYS",
     "throughput_view",
     "recovery_view",
     "serve_view",
     "ingest_view",
+    "encode_view",
     "validate_view",
 ]
 
@@ -72,16 +81,22 @@ class BenchReport:
     #: Advisory health section (HealthReport.as_dict()); {} when the run
     #: recorded none.  Optional in files for pre-PR-6 baseline compat.
     health: dict = field(default_factory=dict)
+    #: Advisory recall@k per rerank depth (approx legs only); {} on
+    #: exact runs.  Optional in files so pre-approx baselines stay
+    #: byte-stable.
+    recall_curve: Dict[str, float] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
         data = asdict(self)
-        # An empty health section is omitted, keeping reports from runs
-        # that sample no health identical to pre-PR-6 files.
-        if not data["health"]:
-            data.pop("health")
+        # Empty optional sections are omitted, keeping reports from runs
+        # that record none identical to older files (health: pre-PR-6;
+        # recall_curve: every exact-mode run).
+        for optional in ("health", "recall_curve"):
+            if not data[optional]:
+                data.pop(optional)
         # schema_version leads in the file for human readers.
         return {
             "schema_version": data.pop("schema_version"),
@@ -122,7 +137,7 @@ class BenchReport:
         missing = sorted(set(required) - set(data))
         if missing:
             raise BenchReportError(f"report missing fields: {missing}")
-        optional = {"health": dict}
+        optional = {"health": dict, "recall_curve": dict}
         unknown = sorted(
             set(data) - set(required) - set(optional) - {"schema_version"}
         )
@@ -142,6 +157,7 @@ class BenchReport:
                 )
         _check_metric_dict("counters", data["counters"])
         _check_metric_dict("advisory", data["advisory"])
+        _check_metric_dict("recall_curve", data.get("recall_curve", {}))
         for mode, fp in data["fingerprints"].items():
             if not isinstance(fp, str):
                 raise BenchReportError(
@@ -155,6 +171,7 @@ class BenchReport:
             advisory=dict(data["advisory"]),
             fingerprints=dict(data["fingerprints"]),
             health=dict(data.get("health", {})),
+            recall_curve=dict(data.get("recall_curve", {})),
             schema_version=version,
         )
 
@@ -237,11 +254,23 @@ INGEST_VIEW_KEYS = (
     "reorg_s",
 )
 
+#: BENCH_encode.json keys (recall + logical scan/rerank costs + rates).
+ENCODE_VIEW_KEYS = (
+    "recall_at_k",
+    "encode_code_pages",
+    "approx_page_reads_cold",
+    "approx_distance_computations",
+    "qps_sequential",
+    "qps_approx",
+    "speedup_approx",
+)
+
 _VIEW_KEYS = {
     "throughput": THROUGHPUT_VIEW_KEYS,
     "recovery": RECOVERY_VIEW_KEYS,
     "serve": SERVE_VIEW_KEYS,
     "ingest": INGEST_VIEW_KEYS,
+    "encode": ENCODE_VIEW_KEYS,
 }
 
 
@@ -273,6 +302,11 @@ def serve_view(report: BenchReport) -> dict:
 def ingest_view(report: BenchReport) -> dict:
     """The flat ``BENCH_ingest.json`` dict, drawn from a report."""
     return _extract_view(report, INGEST_VIEW_KEYS)
+
+
+def encode_view(report: BenchReport) -> dict:
+    """The flat ``BENCH_encode.json`` dict, drawn from a report."""
+    return _extract_view(report, ENCODE_VIEW_KEYS)
 
 
 def validate_view(kind: str, data: object) -> None:

@@ -1,0 +1,27 @@
+"""Approximate speed tier: per-subspace PQ codes with exact rerank.
+
+The MMDR ellipsoids are exactly the locally correlated regions where
+product-quantization codebooks are tight, so the encoder learns one
+seeded PQ codebook *per reduced subspace* (plus one over the full-``d``
+outlier set), stores compact uint8 codes on the owning index's page
+store, and answers ``mode="approx"`` queries by ADC-scanning the codes
+for a candidate set of ``rerank_depth * k`` rids which are then reranked
+*exactly* through the index's own frame vectors and page accounting.
+
+Exact-mode queries never touch this layer: attaching an encoder cannot
+move a gated counter or fingerprint.
+"""
+
+from .layer import ApproxLayer, CodedPartition, build_encoder
+from .pq import MAX_CODEBOOK, Encoder, EncoderConfig, PQEncoder, adc_scan
+
+__all__ = [
+    "ApproxLayer",
+    "CodedPartition",
+    "Encoder",
+    "EncoderConfig",
+    "MAX_CODEBOOK",
+    "PQEncoder",
+    "adc_scan",
+    "build_encoder",
+]

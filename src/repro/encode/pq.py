@@ -1,0 +1,209 @@
+"""Seeded product-quantization codebooks over contiguous sub-blocks.
+
+A :class:`PQEncoder` is trained on one partition's *frame vectors* (a
+subspace's reduced projections, or the outlier set's full-``d`` points):
+the frame's width is split into at most ``n_subquantizers`` contiguous
+sub-blocks, each sub-block gets its own k-means codebook, and a vector's
+code is the per-block nearest-centroid index — one uint8 per block.
+
+Queries never decode: :meth:`PQEncoder.adc_table` precomputes the
+squared distance from the query's sub-vectors to every centroid, and
+:func:`adc_scan` sums table lookups per code row (asymmetric distance
+computation).  Squared distances are compare-monotone with the exact
+metric, which is all candidate selection needs — the exact rerank
+downstream restores true distances.
+
+Training is deterministic per ``(seed, partition)`` via
+``np.random.default_rng([seed, partition_index])``; k-means may drop
+empty clusters, so per-block codebooks can hold fewer rows than
+``codebook_size`` and ADC tables are padded with ``inf`` (a code can
+never point at a dropped row, so the padding is unreachable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..cluster.kmeans import euclidean_sq, kmeans
+from ..storage.metrics import CostCounters
+
+#: Codes are stored as uint8, so a codebook may hold at most 256 rows.
+MAX_CODEBOOK = 256
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Tuning knobs for the approximate tier.
+
+    ``n_subquantizers`` and ``codebook_size`` set code fidelity (memory
+    and scan cost per vector); ``rerank_depth`` is the default scan
+    depth — the candidate set handed to the exact rerank holds
+    ``rerank_depth * k`` rids.  Together they are the recall knob
+    exposed on ``VectorIndex.knn(..., mode="approx")``.
+    """
+
+    n_subquantizers: int = 4
+    codebook_size: int = 16
+    rerank_depth: int = 4
+    train_iterations: int = 25
+
+    def __post_init__(self) -> None:
+        if self.n_subquantizers < 1:
+            raise ValueError(
+                f"n_subquantizers must be >= 1, got {self.n_subquantizers}"
+            )
+        if not 1 <= self.codebook_size <= MAX_CODEBOOK:
+            raise ValueError(
+                f"codebook_size must be in [1, {MAX_CODEBOOK}], "
+                f"got {self.codebook_size}"
+            )
+        if self.rerank_depth < 1:
+            raise ValueError(
+                f"rerank_depth must be >= 1, got {self.rerank_depth}"
+            )
+        if self.train_iterations < 1:
+            raise ValueError(
+                f"train_iterations must be >= 1, got {self.train_iterations}"
+            )
+
+
+def split_blocks(width: int, n_subquantizers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` sub-block bounds covering ``width`` dims.
+
+    At most ``n_subquantizers`` blocks (never more blocks than dims);
+    when the width does not divide evenly the leading blocks are one
+    dim wider, so the layout is deterministic in ``width`` alone.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    blocks = min(n_subquantizers, width)
+    base, extra = divmod(width, blocks)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(blocks):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@runtime_checkable
+class Encoder(Protocol):
+    """What the approximate layer requires of a per-partition encoder."""
+
+    @property
+    def code_width(self) -> int:
+        """Bytes per stored code row."""
+
+    def fit(
+        self,
+        vectors: np.ndarray,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> "Encoder":
+        """Learn the codebooks from ``(n, width)`` frame vectors."""
+
+    def encode(
+        self,
+        vectors: np.ndarray,
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Map ``(n, width)`` vectors to ``(n, code_width)`` uint8 codes."""
+
+    def adc_table(
+        self,
+        query: np.ndarray,
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """Per-block squared query-to-centroid distances for ADC scans."""
+
+
+class PQEncoder:
+    """Product quantizer over one partition's frame vectors."""
+
+    def __init__(self, config: EncoderConfig) -> None:
+        self.config = config
+        self.splits: List[Tuple[int, int]] = []
+        self.centroids: List[np.ndarray] = []
+
+    @property
+    def code_width(self) -> int:
+        return len(self.splits)
+
+    def fit(
+        self,
+        vectors: np.ndarray,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> "PQEncoder":
+        arr = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if arr.shape[0] == 0:
+            raise ValueError("fit expects a non-empty (n, width) array")
+        self.splits = split_blocks(arr.shape[1], self.config.n_subquantizers)
+        self.centroids = []
+        n_clusters = min(self.config.codebook_size, arr.shape[0])
+        for lo, hi in self.splits:
+            result = kmeans(
+                np.ascontiguousarray(arr[:, lo:hi]),
+                n_clusters,
+                rng,
+                max_iterations=self.config.train_iterations,
+                counters=counters,
+            )
+            self.centroids.append(result.centroids)
+        return self
+
+    def encode(
+        self,
+        vectors: np.ndarray,
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        self._require_fitted()
+        arr = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        codes = np.empty((arr.shape[0], self.code_width), dtype=np.uint8)
+        for m, (lo, hi) in enumerate(self.splits):
+            sq = euclidean_sq(
+                np.ascontiguousarray(arr[:, lo:hi]),
+                self.centroids[m],
+                counters,
+            )
+            codes[:, m] = np.argmin(sq, axis=1)
+        return codes
+
+    def adc_table(
+        self,
+        query: np.ndarray,
+        counters: Optional[CostCounters] = None,
+    ) -> np.ndarray:
+        """``(code_width, ksub_max)`` squared sub-distances, inf-padded.
+
+        Blocks whose codebook shrank (dropped empty clusters) occupy
+        only their leading columns; the ``inf`` padding is unreachable
+        because codes index real centroid rows.
+        """
+        self._require_fitted()
+        q = np.asarray(query, dtype=np.float64)
+        ksub_max = max(c.shape[0] for c in self.centroids)
+        table = np.full((self.code_width, ksub_max), np.inf)
+        for m, (lo, hi) in enumerate(self.splits):
+            sq = euclidean_sq(
+                np.ascontiguousarray(q[lo:hi][None, :]),
+                self.centroids[m],
+                counters,
+            )
+            table[m, : self.centroids[m].shape[0]] = sq[0]
+        return table
+
+    def _require_fitted(self) -> None:
+        if not self.splits:
+            raise RuntimeError("PQEncoder used before fit()")
+
+
+def adc_scan(codes: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Squared ADC distance per code row: sum of per-block table lookups."""
+    cols = codes.astype(np.intp, copy=False)
+    rows = np.arange(table.shape[0], dtype=np.intp)[None, :]
+    return table[rows, cols].sum(axis=1)

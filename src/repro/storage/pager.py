@@ -45,6 +45,7 @@ __all__ = [
     "page_checksum",
     "verify_page",
     "vector_bytes",
+    "rows_per_page",
     "pages_for_vectors",
 ]
 
@@ -126,6 +127,11 @@ def vector_bytes(dimensionality: int) -> int:
     return dimensionality * FLOAT_SIZE
 
 
+def rows_per_page(dimensionality: int) -> int:
+    """Packed vectors of the given width that fit on one page (>= 1)."""
+    return max(1, PAGE_SIZE // max(1, vector_bytes(dimensionality)))
+
+
 def pages_for_vectors(count: int, dimensionality: int) -> int:
     """Pages needed to store ``count`` packed vectors of the given width.
 
@@ -138,8 +144,7 @@ def pages_for_vectors(count: int, dimensionality: int) -> int:
         raise ValueError(f"count must be >= 0, got {count}")
     if count == 0:
         return 0
-    per_page = max(1, PAGE_SIZE // max(1, vector_bytes(dimensionality)))
-    return -(-count // per_page)  # ceil division
+    return -(-count // rows_per_page(dimensionality))  # ceil division
 
 
 @dataclass

@@ -1,0 +1,110 @@
+"""Approx-tier bench plumbing: spec elision, recall_curve, recall band.
+
+Byte-stability regression (ISSUE satellite): reports and specs written
+before the approximate tier existed must keep serializing to the same
+bytes — ``recall_curve`` is omitted when empty and the approx spec
+fields are elided at their defaults, so committed golden baselines for
+exact workloads never churn.
+"""
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    ToleranceBand,
+    WorkloadSpec,
+    compare_reports,
+)
+from repro.bench.compare import DEFAULT_TOLERANCES
+
+
+def _report(**overrides):
+    base = dict(
+        name="unit",
+        spec={"scheme": "iMMDR", "n_points": 100},
+        counters={"page_reads_cold": 42},
+        advisory={},
+        fingerprints={"sequential": "sha256:00ff"},
+    )
+    base.update(overrides)
+    return BenchReport(**base)
+
+
+class TestRecallCurveSection:
+    def test_empty_curve_omitted_from_dict(self):
+        data = _report().to_dict()
+        assert "recall_curve" not in data
+
+    def test_pre_approx_dict_loads(self):
+        # A baseline written before recall_curve existed round-trips.
+        data = _report().to_dict()
+        assert BenchReport.from_dict(data) == _report()
+
+    def test_populated_curve_round_trips(self):
+        report = _report(recall_curve={"1": 0.875, "4": 1.0})
+        restored = BenchReport.from_dict(report.to_dict())
+        assert restored.recall_curve == {"1": 0.875, "4": 1.0}
+        assert restored == report
+
+    def test_curve_values_validated(self):
+        data = _report().to_dict()
+        data["recall_curve"] = {"1": "high"}
+        from repro.bench import BenchReportError
+
+        with pytest.raises(BenchReportError):
+            BenchReport.from_dict(data)
+
+    def test_curve_never_gates(self):
+        baseline = _report(recall_curve={"1": 0.2})
+        current = _report(recall_curve={"1": 0.9})
+        assert compare_reports(baseline, current).ok
+
+
+class TestSpecElision:
+    def test_exact_spec_dict_has_no_approx_fields(self):
+        spec = WorkloadSpec(name="w", scheme="iMMDR", reducer="mmdr")
+        data = spec.to_dict()
+        for field_name in WorkloadSpec._APPROX_FIELDS:
+            assert field_name not in data
+
+    def test_pre_approx_spec_dict_loads_with_defaults(self):
+        spec = WorkloadSpec(name="w", scheme="iMMDR", reducer="mmdr")
+        restored = WorkloadSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.mode == "exact"
+        assert restored.rerank_depth == 4
+
+    def test_approx_spec_round_trips(self):
+        spec = WorkloadSpec(
+            name="w", scheme="iMMDR", reducer="mmdr", mode="approx",
+            pq_subquantizers=2, pq_codebook=32, rerank_depth=6,
+            encode_seed=5,
+        )
+        data = spec.to_dict()
+        assert data["mode"] == "approx"
+        assert WorkloadSpec.from_dict(data) == spec
+
+    def test_mode_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="w", scheme="iMMDR", reducer="mmdr", mode="fuzzy"
+            )
+
+
+class TestRecallBand:
+    def test_band_registered(self):
+        assert DEFAULT_TOLERANCES["recall_at_k"] == ToleranceBand(
+            abs_slack=0.02
+        )
+
+    def test_drift_inside_band_passes(self):
+        baseline = _report(counters={"recall_at_k": 1.0})
+        current = _report(counters={"recall_at_k": 0.985})
+        assert compare_reports(baseline, current).ok
+
+    def test_drift_outside_band_gates(self):
+        baseline = _report(counters={"recall_at_k": 1.0})
+        current = _report(counters={"recall_at_k": 0.9})
+        comparison = compare_reports(baseline, current)
+        assert not comparison.ok
+        assert comparison.regressions[0].name == "recall_at_k"

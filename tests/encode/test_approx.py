@@ -1,0 +1,209 @@
+"""Approximate tier end-to-end: recall properties, agreement, errors.
+
+The load-bearing property test lives here (ISSUE satellite): recall@K
+is non-decreasing in ``rerank_depth`` and reaches 1.0 once the depth
+covers every live record — on all three index schemes, with the dynamic
+delta (inserts + deletes) in play.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.workload import sample_queries
+from repro.encode import ApproxLayer, EncoderConfig
+from repro.index.global_ldr import GlobalLDRIndex
+from repro.index.idistance import ExtendedIDistance
+from repro.index.seqscan import SequentialScan
+from repro.persist.snapshot import load_index, save_index
+from repro.reduction import MMDRReducer
+from repro.reduction.ldr import LDRReducer
+
+K = 10
+
+SCHEMES = {
+    "idistance": (ExtendedIDistance, MMDRReducer),
+    "seqscan": (SequentialScan, MMDRReducer),
+    "gldr": (GlobalLDRIndex, LDRReducer),
+}
+
+
+def _build(scheme, dataset, with_updates=True):
+    index_cls, reducer_cls = SCHEMES[scheme]
+    points = dataset.points
+    reduced = reducer_cls().reduce(points, np.random.default_rng(0))
+    index = index_cls(reduced)
+    rng = np.random.default_rng(9)
+    if with_updates:
+        # A handful of perturbed inserts and deletes (one hitting the
+        # delta) so the approx path is tested against the live set the
+        # exact path sees, not the pristine bulk load.
+        base = reduced.n_points
+        for i in range(5):
+            point = points[rng.integers(points.shape[0])]
+            point = point + rng.normal(0, 0.01, point.shape)
+            index.insert(point, base + i)
+        index.delete(7)
+        index.delete(123)
+        index.delete(base + 1)
+    workload = sample_queries(
+        points, 12, np.random.default_rng(1), k=K, method="perturbed"
+    )
+    return index, workload
+
+
+def _exact_ids(index, workload):
+    ids = []
+    for query in workload.queries:
+        index.reset_cache()
+        ids.append(index.knn(query, K).ids)
+    return np.vstack(ids)
+
+
+def _recall(reference, got):
+    total = 0.0
+    for ref_row, got_row in zip(reference, got):
+        live = ref_row[ref_row >= 0]
+        total += (
+            1.0
+            if live.size == 0
+            else np.intersect1d(live, got_row).size / live.size
+        )
+    return total / reference.shape[0]
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_recall_monotone_in_depth_and_exact_at_full_coverage(
+    scheme, two_cluster_dataset
+):
+    """More rerank depth may only help, and full coverage is exact."""
+    index, workload = _build(scheme, two_cluster_dataset)
+    index.attach_encoder(
+        EncoderConfig(n_subquantizers=4, codebook_size=16), seed=3
+    )
+    exact = _exact_ids(index, workload)
+    covering = index.live_count  # depth * k >= live_count covers all
+    recalls = []
+    for depth in (1, 2, 4, covering):
+        got = []
+        for query in workload.queries:
+            index.reset_cache()
+            res = index.knn(query, K, mode="approx", rerank_depth=depth)
+            got.append(res.ids)
+        recalls.append(_recall(exact, np.vstack(got)))
+    assert recalls == sorted(recalls), (
+        f"recall@{K} not monotone in rerank_depth: {recalls}"
+    )
+    assert recalls[-1] == 1.0, (
+        f"full-coverage depth must be exact, got recall {recalls[-1]}"
+    )
+    assert recalls[0] > 0.5, f"depth-1 recall collapsed: {recalls[0]}"
+
+
+@pytest.mark.encode_smoke
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_approx_batch_agrees_with_sequential(scheme, two_cluster_dataset):
+    index, workload = _build(scheme, two_cluster_dataset)
+    index.attach_encoder(EncoderConfig(), seed=3)
+    seq_ids, seq_dists = [], []
+    for query in workload.queries:
+        index.reset_cache()
+        res = index.knn(query, K, mode="approx")
+        seq_ids.append(res.ids)
+        seq_dists.append(res.distances)
+    batch = index.knn_batch(workload.queries, K, mode="approx")
+    assert np.array_equal(np.vstack(seq_ids), batch.ids)
+    assert np.array_equal(np.vstack(seq_dists), batch.distances)
+
+
+def test_attach_returns_layer_and_describe(two_cluster_dataset):
+    index, _ = _build("idistance", two_cluster_dataset, with_updates=False)
+    layer = index.attach_encoder(
+        EncoderConfig(n_subquantizers=2, codebook_size=8), seed=5
+    )
+    assert layer is index.encoder
+    assert isinstance(layer, ApproxLayer)
+    info = layer.describe()
+    assert info["n_subquantizers"] == 2
+    assert info["codebook_size"] == 8
+    assert info["seed"] == 5
+    assert info["partitions"] >= 1
+    assert info["codes"] == index.reduced.n_points
+    assert info["code_pages"] >= 1
+
+
+def test_approx_without_encoder_raises(two_cluster_dataset):
+    index, workload = _build("seqscan", two_cluster_dataset,
+                             with_updates=False)
+    with pytest.raises(RuntimeError, match="attach_encoder"):
+        index.knn(workload.queries[0], K, mode="approx")
+
+
+def test_unknown_mode_rejected(two_cluster_dataset):
+    index, workload = _build("seqscan", two_cluster_dataset,
+                             with_updates=False)
+    with pytest.raises(ValueError, match="mode"):
+        index.knn(workload.queries[0], K, mode="fuzzy")
+    with pytest.raises(ValueError, match="mode"):
+        index.knn_batch(workload.queries, K, mode="fuzzy")
+
+
+def test_exact_counters_unmoved_by_attach(two_cluster_dataset):
+    """Attaching codes must not change what exact search reads: same
+    answers, same page reads, same distance computations."""
+    index, workload = _build("idistance", two_cluster_dataset,
+                             with_updates=False)
+    query = workload.queries[0]
+    index.reset_cache()
+    before = index.knn(query, K)
+    index.attach_encoder(EncoderConfig(), seed=3)
+    index.reset_cache()
+    after = index.knn(query, K)
+    assert np.array_equal(before.ids, after.ids)
+    assert np.array_equal(before.distances, after.distances)
+    assert before.stats.page_reads == after.stats.page_reads
+    assert (
+        before.stats.distance_computations
+        == after.stats.distance_computations
+    )
+
+
+def test_explain_attributes_scan_and_rerank(two_cluster_dataset):
+    index, workload = _build("idistance", two_cluster_dataset,
+                             with_updates=False)
+    index.attach_encoder(EncoderConfig(), seed=3)
+    explain = index.explain(workload.queries[0], K, mode="approx")
+    assert "knn.approx.scan" in explain.phases
+    assert "knn.approx.rerank" in explain.phases
+    scan = explain.phases["knn.approx.scan"]
+    rerank = explain.phases["knn.approx.rerank"]
+    assert scan["logical_reads"] >= 1, "code-page scans must be attributed"
+    assert rerank["logical_reads"] >= 1, "rerank I/O must be attributed"
+    assert scan["distance_computations"] > rerank["distance_computations"], (
+        "the code scan, not the rerank, should dominate distance work"
+    )
+
+
+def test_snapshot_round_trips_encoder(two_cluster_dataset, tmp_path):
+    index, workload = _build("idistance", two_cluster_dataset)
+    index.attach_encoder(EncoderConfig(), seed=3)
+    want = []
+    for query in workload.queries:
+        index.reset_cache()
+        want.append(index.knn(query, K, mode="approx").ids)
+
+    manifest = save_index(index, tmp_path / "snap")
+    assert manifest["encoder"]["codes"] == index.encoder.total_codes
+
+    loaded = load_index(tmp_path / "snap")
+    for query, expected in zip(workload.queries, want):
+        loaded.reset_cache()
+        got = loaded.knn(query, K, mode="approx").ids
+        assert np.array_equal(got, expected)
+
+
+def test_snapshot_without_encoder_omits_manifest_field(
+    two_cluster_dataset, tmp_path
+):
+    index, _ = _build("seqscan", two_cluster_dataset, with_updates=False)
+    manifest = save_index(index, tmp_path / "snap")
+    assert "encoder" not in manifest

@@ -1,0 +1,148 @@
+"""PQ encoder unit tests: block splitting, fitting, codes, ADC tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmeans import euclidean_sq
+from repro.encode import (
+    MAX_CODEBOOK,
+    Encoder,
+    EncoderConfig,
+    PQEncoder,
+    adc_scan,
+)
+from repro.encode.pq import split_blocks
+
+
+class TestSplitBlocks:
+    def test_even_split(self):
+        assert split_blocks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_widens_leading_blocks(self):
+        assert split_blocks(7, 4) == [(0, 2), (2, 4), (4, 6), (6, 7)]
+
+    def test_narrow_subspace_caps_block_count(self):
+        assert split_blocks(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    @given(
+        width=st.integers(min_value=1, max_value=64),
+        n_sub=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_contiguous_cover(self, width, n_sub):
+        """Blocks tile [0, width) exactly: contiguous, non-empty, and
+        never more than min(n_sub, width) of them."""
+        blocks = split_blocks(width, n_sub)
+        assert len(blocks) == min(n_sub, width)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == width
+        for (lo, hi), (nlo, _) in zip(blocks, blocks[1:]):
+            assert hi == nlo
+        assert all(hi > lo for lo, hi in blocks)
+
+
+class TestEncoderConfig:
+    def test_defaults_valid(self):
+        config = EncoderConfig()
+        assert config.n_subquantizers >= 1
+        assert 1 <= config.codebook_size <= MAX_CODEBOOK
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_subquantizers": 0},
+            {"codebook_size": 0},
+            {"codebook_size": MAX_CODEBOOK + 1},
+            {"rerank_depth": 0},
+            {"train_iterations": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            EncoderConfig(**kwargs)
+
+
+@pytest.fixture
+def fitted(rng):
+    vectors = rng.normal(size=(300, 6)).astype(np.float64)
+    encoder = PQEncoder(EncoderConfig(n_subquantizers=3, codebook_size=8))
+    encoder.fit(vectors, np.random.default_rng(7))
+    return encoder, vectors
+
+
+class TestPQEncoder:
+    def test_satisfies_protocol(self, fitted):
+        encoder, _ = fitted
+        assert isinstance(encoder, Encoder)
+
+    def test_codes_shape_and_dtype(self, fitted):
+        encoder, vectors = fitted
+        codes = encoder.encode(vectors)
+        assert codes.shape == (vectors.shape[0], encoder.code_width)
+        assert codes.dtype == np.uint8
+
+    def test_fit_is_seed_deterministic(self, rng):
+        vectors = rng.normal(size=(200, 6))
+        config = EncoderConfig(n_subquantizers=3, codebook_size=8)
+        first, second = PQEncoder(config), PQEncoder(config)
+        first.fit(vectors, np.random.default_rng(11))
+        second.fit(vectors, np.random.default_rng(11))
+        assert np.array_equal(first.encode(vectors), second.encode(vectors))
+        query = vectors[0]
+        assert np.array_equal(
+            first.adc_table(query), second.adc_table(query)
+        )
+
+    def test_requires_fit_before_use(self):
+        encoder = PQEncoder(EncoderConfig())
+        with pytest.raises(RuntimeError):
+            encoder.encode(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            encoder.adc_table(np.zeros(4))
+
+    def test_uneven_codebooks_pad_table_with_inf(self, rng):
+        # A block with only two distinct values collapses to two
+        # centroids while its sibling keeps eight; the short block's
+        # dropped slots must read +inf, and no real code may land there.
+        rich = rng.normal(size=(40, 1)) * 10.0
+        poor = np.repeat([[0.0], [1.0]], 20, axis=0)
+        vectors = np.hstack([rich, poor])
+        encoder = PQEncoder(
+            EncoderConfig(n_subquantizers=2, codebook_size=8)
+        )
+        encoder.fit(vectors, np.random.default_rng(0))
+        table = encoder.adc_table(vectors[0])
+        assert np.isinf(table).any()
+        codes = encoder.encode(vectors)
+        assert np.isfinite(adc_scan(codes, table)).all()
+
+
+class TestADCScan:
+    def test_matches_brute_force_reconstruction(self, fitted):
+        encoder, vectors = fitted
+        query = vectors[17]
+        codes = encoder.encode(vectors)
+        table = encoder.adc_table(query)
+        scanned = adc_scan(codes, table)
+        expected = np.zeros(vectors.shape[0])
+        for block, (lo, hi) in enumerate(encoder.splits):
+            centroids = encoder.centroids[block]
+            expected += euclidean_sq(
+                np.ascontiguousarray(query[np.newaxis, lo:hi]), centroids
+            )[0, codes[:, block]]
+        assert np.allclose(scanned, expected)
+
+    def test_exact_on_centroid_points(self):
+        # When every vector IS a centroid, ADC distance equals the true
+        # squared distance: quantization error is zero.
+        vectors = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        encoder = PQEncoder(
+            EncoderConfig(n_subquantizers=1, codebook_size=3)
+        )
+        encoder.fit(vectors, np.random.default_rng(0))
+        query = np.array([0.5, 0.5])
+        scanned = adc_scan(encoder.encode(vectors), encoder.adc_table(query))
+        true_sq = ((vectors - query) ** 2).sum(axis=1)
+        assert np.allclose(np.sort(scanned), np.sort(true_sq))
